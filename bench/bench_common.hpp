@@ -1,0 +1,49 @@
+// Shared helpers for the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "core/model.hpp"
+#include "util/table.hpp"
+
+namespace agcm::bench {
+
+/// Wall-clock stopwatch for the host-time kernel benches.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n\n");
+  std::fflush(stdout);
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("%s\n", note.c_str());
+  std::fflush(stdout);
+}
+
+/// A paper node mesh (rows partition latitude, cols partition longitude).
+struct NodeMesh {
+  int rows;
+  int cols;
+  std::string label() const {
+    return std::to_string(rows) + "x" + std::to_string(cols);
+  }
+  int nodes() const { return rows * cols; }
+};
+
+}  // namespace agcm::bench

@@ -1,0 +1,73 @@
+// Tests the paper's forward-looking prediction (Section 4): "We would
+// expect even better scaling be achieved for the parallel filtering as well
+// as for the overall AGCM code for higher horizontal and vertical
+// resolution versions."
+//
+// The same 8x8 (and 4x30) node meshes are run at three horizontal
+// resolutions (4x5, 2x2.5, 1x1.25 degrees) and two vertical resolutions;
+// parallel efficiency relative to the 1-node run of the same resolution
+// should improve monotonically with resolution.
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace agcm {
+namespace {
+
+using bench::NodeMesh;
+using bench::print_header;
+using bench::print_note;
+
+struct Resolution {
+  const char* label;
+  int nlon, nlat, nlev;
+};
+
+double seconds_per_day(const Resolution& res, NodeMesh mesh) {
+  core::ModelConfig cfg;
+  cfg.nlon = res.nlon;
+  cfg.nlat = res.nlat;
+  cfg.nlev = res.nlev;
+  cfg.mesh_rows = mesh.rows;
+  cfg.mesh_cols = mesh.cols;
+  cfg.machine = simnet::MachineProfile::cray_t3d();
+  cfg.filter_algorithm = filter::FilterAlgorithm::kFftBalanced;
+  const auto report = core::run_model(cfg, 2, 1);
+  return report.total_per_day();
+}
+
+}  // namespace
+}  // namespace agcm
+
+int main() {
+  using namespace agcm;
+
+  print_header(
+      "Section 4 prediction: scaling improves with model resolution");
+  print_note(
+      "Cray T3D virtual machine, load-balanced FFT module. Efficiency =\n"
+      "T(1 node) / (nodes * T(mesh)).\n");
+
+  const Resolution resolutions[] = {
+      {"4 x 5 deg, 9L", 72, 46, 9},
+      {"2 x 2.5 deg, 9L", 144, 90, 9},
+      {"2 x 2.5 deg, 15L", 144, 90, 15},
+      {"1 x 1.25 deg, 9L", 288, 180, 9},
+  };
+
+  Table table("Parallel efficiency of the whole AGCM by resolution",
+              {"Resolution", "1-node s/day", "8x8 s/day", "8x8 efficiency"});
+  for (const Resolution& res : resolutions) {
+    const double serial = seconds_per_day(res, {1, 1});
+    const double par = seconds_per_day(res, {8, 8});
+    const double eff = serial / (64.0 * par);
+    table.add_row({res.label, Table::num(serial, 0), Table::num(par, 1),
+                   Table::pct(eff, 1)});
+  }
+  print_table(table);
+  print_note(
+      "Expected shape: efficiency rises down the table — more local work\n"
+      "per ghost point and per filtered line as resolution grows, both\n"
+      "horizontally and vertically (the paper's 15-layer observation).");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Reproduces Tables 4-7: AGCM timings (seconds/simulated day) with the old
+// (convolution) and new (load-balanced FFT) filtering modules on the Intel
+// Paragon and Cray T3D virtual machines, 2 x 2.5 x 9 resolution.
+//
+// "In comparison to the old AGCM code, the Dynamics component in the new
+// code is a little more than twice as fast on 240 nodes. The scaling of the
+// entire code also improved significantly."
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace agcm {
+namespace {
+
+using bench::NodeMesh;
+
+struct PaperRow {
+  NodeMesh mesh;
+  double dynamics;
+  double speedup;
+  double total;
+};
+
+struct TableSpec {
+  std::string title;
+  simnet::MachineProfile machine;
+  filter::FilterAlgorithm algorithm;
+  std::vector<PaperRow> rows;
+};
+
+void run_table(const TableSpec& spec) {
+  Table table(spec.title, {"Node mesh", "Dynamics (paper/meas)",
+                           "Dyn speedup (paper/meas)",
+                           "Total (paper/meas)"});
+  double serial_dynamics = 0.0;
+  for (const PaperRow& row : spec.rows) {
+    core::ModelConfig cfg;
+    cfg.mesh_rows = row.mesh.rows;
+    cfg.mesh_cols = row.mesh.cols;
+    cfg.machine = spec.machine;
+    cfg.filter_algorithm = spec.algorithm;
+    cfg.physics_load_balance = false;  // Tables 4-7 predate the physics LB
+    const core::RunReport report = core::run_model(cfg, /*steps=*/2,
+                                                   /*warmup_steps=*/1);
+    const double dynamics = report.dynamics_per_day();
+    if (row.mesh.nodes() == 1) serial_dynamics = dynamics;
+    const double speedup =
+        serial_dynamics > 0.0 ? serial_dynamics / dynamics : 1.0;
+    table.add_row({row.mesh.label(),
+                   Table::paper_vs(row.dynamics, dynamics, 1),
+                   Table::paper_vs(row.speedup, speedup, 1),
+                   Table::paper_vs(row.total, report.total_per_day(), 1)});
+  }
+  print_table(table);
+}
+
+}  // namespace
+}  // namespace agcm
+
+int main() {
+  using namespace agcm;
+  using agcm::bench::print_header;
+  using agcm::bench::print_note;
+
+  print_header(
+      "Tables 4-7: AGCM timings (seconds/simulated day), 2x2.5deg, 9 layers");
+  print_note(
+      "Each cell shows <paper value> / <measured on the virtual machine>.\n"
+      "Timed over 2 steps after 1 warmup step; scaled by 192 steps/day.\n");
+
+  const std::vector<PaperRow> paragon_old = {
+      {{1, 1}, 8702.0, 1.0, 14010.0},
+      {{4, 4}, 848.5, 10.3, 1177.0},
+      {{8, 8}, 366.0, 23.8, 443.5},
+      {{8, 30}, 186.0, 46.8, 216.0},
+  };
+  const std::vector<PaperRow> paragon_new = {
+      {{1, 1}, 8075.0, 1.0, 11225.0},
+      {{4, 4}, 639.0, 12.6, 992.6},
+      {{8, 8}, 207.5, 38.9, 306.0},
+      {{8, 30}, 87.2, 92.6, 119.0},
+  };
+  const std::vector<PaperRow> t3d_old = {
+      {{1, 1}, 3480.0, 1.0, 5600.0},
+      {{4, 4}, 339.0, 11.3, 470.0},
+      {{8, 8}, 146.0, 26.3, 177.0},
+      {{8, 30}, 74.0, 51.9, 87.5},
+  };
+  const std::vector<PaperRow> t3d_new = {
+      {{1, 1}, 3230.0, 1.0, 4990.0},
+      {{4, 4}, 256.0, 12.6, 397.0},
+      {{8, 8}, 83.0, 38.9, 122.0},
+      {{8, 30}, 35.0, 92.3, 48.0},
+  };
+
+  run_table({"Table 4: old (convolution) filtering module, Intel Paragon",
+             simnet::MachineProfile::intel_paragon(),
+             filter::FilterAlgorithm::kConvolutionRing, paragon_old});
+  run_table({"Table 5: new (load-balanced FFT) filtering module, Intel Paragon",
+             simnet::MachineProfile::intel_paragon(),
+             filter::FilterAlgorithm::kFftBalanced, paragon_new});
+  run_table({"Table 6: old (convolution) filtering module, Cray T3D",
+             simnet::MachineProfile::cray_t3d(),
+             filter::FilterAlgorithm::kConvolutionRing, t3d_old});
+  run_table({"Table 7: new (load-balanced FFT) filtering module, Cray T3D",
+             simnet::MachineProfile::cray_t3d(),
+             filter::FilterAlgorithm::kFftBalanced, t3d_new});
+
+  print_note(
+      "Headline checks (paper Section 4): the new Dynamics should be a bit\n"
+      "more than 2x faster than the old on 240 nodes, and the T3D should run\n"
+      "~2.5x faster than the Paragon.");
+  return 0;
+}

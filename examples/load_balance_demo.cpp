@@ -1,0 +1,87 @@
+// Demonstrates the three load-balancing schemes of Section 3.4 on the real
+// physics workload: the day/night terminator sweeps across the node mesh as
+// simulated time advances, and Scheme 3 keeps rebalancing the columns.
+//
+//   $ ./load_balance_demo
+#include <cstdio>
+#include <vector>
+
+#include "comm/mesh2d.hpp"
+#include "loadbalance/exchange.hpp"
+#include "physics/physics.hpp"
+#include "simnet/machine.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace agcm;
+  const int rows = 4, cols = 8;
+  const int nlon = 144, nlat = 90, nlev = 9;
+  const double dt = 1800.0;  // half-hour physics steps: the sun moves 7.5deg
+  const int steps = 8;       // a quarter of a day
+
+  std::printf(
+      "Physics load balancing across a simulated quarter day\n"
+      "(144x90x9 grid, %dx%d virtual T3D nodes, scheme 3 every step)\n\n",
+      rows, cols);
+
+  simnet::Machine machine(simnet::MachineProfile::cray_t3d());
+  machine.set_recv_timeout_ms(600'000);
+
+  struct StepStats {
+    double hour;
+    double imbalance_before;
+    double imbalance_after;
+    int iterations;
+    double balance_ms;
+  };
+  std::vector<StepStats> history(steps);
+
+  machine.run(rows * cols, [&](simnet::RankContext& ctx) {
+    comm::Communicator world(ctx);
+    comm::Mesh2D mesh(world, rows, cols);
+    const grid::LatLonGrid grid(nlon, nlat, nlev);
+    const grid::Decomp2D decomp(nlon, nlat, rows, cols);
+    const auto box = decomp.box(mesh.coord());
+
+    physics::PhysicsConfig cfg;
+    cfg.column.nlev = nlev;
+    cfg.column.dt_sec = dt;
+    cfg.load_balance = true;
+    cfg.lb_options.max_iterations = 2;
+    physics::Physics phys(mesh, decomp, grid, cfg);
+
+    dynamics::State state(box, nlev);
+    dynamics::initialize_state(state, grid, box, 11);
+
+    for (int s = 0; s < steps; ++s) {
+      const double t0 = world.now();
+      const auto stats = phys.step(state);
+      world.barrier();
+      if (world.rank() == 0) {
+        history[static_cast<std::size_t>(s)] = {
+            state.time_sec / 3600.0, stats.imbalance_before,
+            stats.imbalance_after, stats.lb_iterations,
+            (world.now() - t0) * 1000.0};
+      }
+      state.time_sec += dt;
+      ++state.step;
+    }
+  });
+
+  Table table("Scheme-3 balancing as the terminator moves",
+              {"sim hour", "imbalance before", "after", "iterations",
+               "physics step ms (virtual)"});
+  for (const auto& h : history) {
+    table.add_row({Table::num(h.hour, 1), Table::pct(h.imbalance_before, 1),
+                   Table::pct(h.imbalance_after, 1),
+                   std::to_string(h.iterations), Table::num(h.balance_ms, 1)});
+  }
+  print_table(table);
+  std::printf(
+      "\nNote the first step: the estimator has no history yet (uniform\n"
+      "weights), so the 'before' imbalance reads low; from the second step\n"
+      "on, the previous pass's measured cost drives the balancing — the\n"
+      "paper's estimation strategy.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Explores how the same AGCM configuration performs across the virtual
+// machines (Paragon, T3D, SP-2) and node meshes — the kind of what-if the
+// cost model makes cheap. Prints seconds/simulated-day and parallel
+// efficiency for each combination.
+//
+//   $ ./machine_explorer
+#include <cstdio>
+#include <vector>
+
+#include "core/model.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace agcm;
+
+  struct MeshSpec {
+    int rows, cols;
+  };
+  const MeshSpec meshes[] = {{1, 1}, {2, 4}, {4, 8}, {8, 15}};
+  const simnet::MachineProfile machines[] = {
+      simnet::MachineProfile::intel_paragon(),
+      simnet::MachineProfile::cray_t3d(),
+      simnet::MachineProfile::ibm_sp2(),
+  };
+
+  std::printf("AGCM (96x60x9, load-balanced FFT filter + scheme-3 physics)\n"
+              "across virtual machines and node meshes\n\n");
+
+  Table table("seconds/simulated day (parallel efficiency)",
+              {"Machine", "1 node", "8 nodes", "32 nodes", "120 nodes"});
+  for (const auto& machine : machines) {
+    std::vector<std::string> row{machine.name};
+    double serial = 0.0;
+    for (const auto& mesh : meshes) {
+      core::ModelConfig cfg;
+      cfg.nlon = 96;
+      cfg.nlat = 60;
+      cfg.nlev = 9;
+      cfg.mesh_rows = mesh.rows;
+      cfg.mesh_cols = mesh.cols;
+      cfg.machine = machine;
+      cfg.physics_load_balance = true;
+      const auto report = core::run_model(cfg, 2, 1);
+      const double per_day = report.total_per_day();
+      const int nodes = mesh.rows * mesh.cols;
+      if (nodes == 1) {
+        serial = per_day;
+        row.push_back(Table::num(per_day, 0));
+      } else {
+        const double efficiency = serial / (per_day * nodes);
+        row.push_back(Table::num(per_day, 1) + " (" +
+                      Table::pct(efficiency, 0) + ")");
+      }
+    }
+    table.add_row(row);
+  }
+  print_table(table);
+  std::printf(
+      "\nThe SP-2 column is an extension beyond the paper (it mentions SP-2\n"
+      "runs but prints no table): fast nodes + slow interconnect = the worst\n"
+      "parallel efficiency of the three, exactly the era's folklore.\n");
+  return 0;
+}

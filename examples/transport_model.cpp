@@ -1,0 +1,138 @@
+// A second application built from the library's reusable components — the
+// Section 5 claim ("code modules which are reusable and extensible in
+// different GCM applications") made concrete: a standalone passive-tracer
+// transport model (Williamson et al. test case 1, solid-body rotation of a
+// cosine bell) using the grid, halo-exchange, advection and diagnostic
+// modules, with no dynamical core at all.
+//
+//   $ ./transport_model [days]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numbers>
+
+#include "comm/mesh2d.hpp"
+#include "dynamics/advection.hpp"
+#include "dynamics/state.hpp"
+#include "grid/halo.hpp"
+#include "simnet/machine.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace agcm;
+  const double revolution_days = argc > 1 ? std::atof(argv[1]) : 12.0;
+  const int nlon = 128, nlat = 64, nlev = 1;
+  const int rows = 2, cols = 4;
+
+  std::printf("Passive transport (Williamson test 1): cosine bell around "
+              "the sphere in %.0f days, %dx%d grid, %dx%d nodes\n\n",
+              revolution_days, nlon, nlat, rows, cols);
+
+  simnet::Machine machine(simnet::MachineProfile::cray_t3d());
+  machine.set_recv_timeout_ms(600'000);
+
+  struct ErrorRow {
+    double t_days, l1, l2, linf, min_val;
+  };
+  std::vector<ErrorRow> history;
+
+  machine.run(rows * cols, [&](simnet::RankContext& ctx) {
+    comm::Communicator world(ctx);
+    comm::Mesh2D mesh(world, rows, cols);
+    const grid::LatLonGrid grid(nlon, nlat, nlev);
+    const grid::Decomp2D decomp(nlon, nlat, rows, cols);
+    const auto box = decomp.box(mesh.coord());
+    const dynamics::Metrics metrics = dynamics::Metrics::build(grid, box);
+
+    const double omega_rot =
+        2.0 * std::numbers::pi / (revolution_days * 86400.0);
+    const double bell_radius = grid.planet().radius_m / 3.0;
+
+    auto bell = [&](double lon, double lat, double center_lon) {
+      // Great-circle distance to the moving bell centre on the equator.
+      const double cosd = std::cos(lat) * std::cos(lon - center_lon);
+      const double r = grid.planet().radius_m * std::acos(std::clamp(cosd, -1.0, 1.0));
+      return r < bell_radius
+                 ? 500.0 * (1.0 + std::cos(std::numbers::pi * r / bell_radius))
+                 : 0.0;
+    };
+
+    dynamics::State state(box, nlev);
+    for (int j = 0; j < box.nj; ++j) {
+      const int gj = box.j0 + j;
+      for (int i = 0; i < box.ni; ++i) {
+        const int gi = box.i0 + i;
+        state.h(i, j, 0) = 1.0;  // unit "air mass": pure transport
+        state.u(i, j, 0) =
+            omega_rot * grid.planet().radius_m * grid.cos_center(gj);
+        state.v(i, j, 0) = 0.0;
+        state.theta(i, j, 0) =
+            bell(grid.lon_center(gi), grid.lat_center(gj), 0.0);
+        state.q(i, j, 0) = 0.0;
+      }
+    }
+    grid::Array3D<double> h_new = state.h;
+
+    const double dt = 1200.0;
+    const int total_steps =
+        static_cast<int>(revolution_days * 86400.0 / dt);
+    const int report_every = total_steps / 4;
+
+    auto record = [&](int step) {
+      const double t = step * dt;
+      const double center = omega_rot * t;
+      double l1 = 0.0, l2 = 0.0, linf = 0.0, ref_l1 = 0.0, ref_l2 = 0.0,
+             ref_linf = 0.0, min_val = 0.0;
+      for (int j = 0; j < box.nj; ++j) {
+        const double area = grid.cell_area_m2(box.j0 + j);
+        for (int i = 0; i < box.ni; ++i) {
+          const double exact =
+              bell(grid.lon_center(box.i0 + i), grid.lat_center(box.j0 + j),
+                   center);
+          const double err = state.theta(i, j, 0) - exact;
+          l1 += std::abs(err) * area;
+          l2 += err * err * area;
+          linf = std::max(linf, std::abs(err));
+          ref_l1 += std::abs(exact) * area;
+          ref_l2 += exact * exact * area;
+          ref_linf = std::max(ref_linf, std::abs(exact));
+          min_val = std::min(min_val, state.theta(i, j, 0));
+        }
+      }
+      l1 = world.allreduce_sum(l1) / std::max(1e-30, world.allreduce_sum(ref_l1));
+      l2 = std::sqrt(world.allreduce_sum(l2) /
+                     std::max(1e-30, world.allreduce_sum(ref_l2)));
+      linf = world.allreduce_max(linf) /
+             std::max(1e-30, world.allreduce_max(ref_linf));
+      min_val = -world.allreduce_max(-min_val);
+      if (world.rank() == 0)
+        history.push_back({t / 86400.0, l1, l2, linf, min_val});
+    };
+
+    record(0);
+    for (int s = 1; s <= total_steps; ++s) {
+      grid::exchange_halo(mesh, state.theta);
+      grid::exchange_halo(mesh, state.h);
+      grid::exchange_halo(mesh, state.u);
+      grid::exchange_halo(mesh, state.v);
+      grid::Array3D<double>* tracers[] = {&state.theta};
+      dynamics::advect_tracers_optimized(grid, box, metrics, state.h, h_new,
+                                         state.u, state.v, tracers, dt);
+      if (s % report_every == 0) record(s);
+    }
+  });
+
+  Table table("Normalised errors vs the exact translated bell",
+              {"day", "l1", "l2", "linf", "min (should stay >= 0)"});
+  for (const auto& row : history)
+    table.add_row({Table::num(row.t_days, 1), Table::num(row.l1, 3),
+                   Table::num(row.l2, 3), Table::num(row.linf, 3),
+                   Table::num(row.min_val, 6)});
+  print_table(table);
+  std::printf(
+      "\nFirst-order upwind transport: pronounced diffusion (growing l2) but\n"
+      "monotone — no negative tracer anywhere — and exact mass conservation.\n"
+      "The entire model is ~100 lines on top of the library's grid, halo,\n"
+      "advection and reduction components.\n");
+  return 0;
+}

@@ -1,0 +1,445 @@
+// Typed message-passing layer over the simnet byte transport.
+//
+// The interface mirrors the MPI subset the original parallel AGCM used
+// (point-to-point, broadcast/reduce trees, gather/scatter, alltoallv) so the
+// algorithms in filter/ and loadbalance/ read like their MPI originals.
+// Collectives are implemented *on top of* point-to-point with the classic
+// algorithms (binomial trees, pairwise exchange), so their virtual cost is
+// the genuine message cost of the era, not a magic constant.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <numeric>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "simnet/machine.hpp"
+#include "util/error.hpp"
+
+namespace agcm::comm {
+
+/// A communicator: a group of ranks able to exchange typed messages.
+/// The world communicator covers every rank of the machine; `split` creates
+/// row/column sub-communicators with translated ranks and isolated tags.
+class Communicator {
+ public:
+  /// World communicator over all ranks of the running SPMD program.
+  explicit Communicator(simnet::RankContext& ctx);
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(members_.size()); }
+  simnet::RankContext& context() const { return *ctx_; }
+
+  /// Virtual clock shortcuts (all library code charges compute through the
+  /// communicator so callers don't need to thread the clock around).
+  void charge_flops(double flops, double cache_efficiency = 1.0) const;
+  double now() const;
+
+  /// Splits into disjoint sub-communicators: ranks with equal `color` end up
+  /// in the same group, ordered by `key` (ties broken by old rank).
+  /// Collective over this communicator.
+  Communicator split(int color, int key) const;
+
+  // --- point-to-point -----------------------------------------------------
+
+  template <typename T>
+  void send(int dst, int tag, std::span<const T> data) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_tag(tag);
+    ctx_->send_bytes(global(dst), combine_tag(tag),
+                     std::as_bytes(data));
+  }
+
+  template <typename T>
+  void send_value(int dst, int tag, const T& value) const {
+    send<T>(dst, tag, std::span<const T>(&value, 1));
+  }
+
+  /// Receives exactly data.size() elements; throws CommError on mismatch.
+  template <typename T>
+  void recv(int src, int tag, std::span<T> data) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_tag(tag);
+    const auto bytes = ctx_->recv_bytes(global(src), combine_tag(tag));
+    if (bytes.size() != data.size_bytes()) {
+      throw CommError("recv size mismatch: expected " +
+                      std::to_string(data.size_bytes()) + " bytes, got " +
+                      std::to_string(bytes.size()));
+    }
+    std::memcpy(data.data(), bytes.data(), bytes.size());
+  }
+
+  /// Receives a message of unknown length; returns the element vector.
+  template <typename T>
+  std::vector<T> recv_any_size(int src, int tag) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_tag(tag);
+    const auto bytes = ctx_->recv_bytes(global(src), combine_tag(tag));
+    if (bytes.size() % sizeof(T) != 0) {
+      throw CommError("recv_any_size: payload not a multiple of sizeof(T)");
+    }
+    std::vector<T> out(bytes.size() / sizeof(T));
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  template <typename T>
+  T recv_value(int src, int tag) const {
+    T value{};
+    recv<T>(src, tag, std::span<T>(&value, 1));
+    return value;
+  }
+
+  /// Buffered sends never block, so send-then-recv is deadlock-free.
+  template <typename T>
+  void sendrecv(int dst, std::span<const T> send_data, int src,
+                std::span<T> recv_data, int tag) const {
+    send<T>(dst, tag, send_data);
+    recv<T>(src, tag, recv_data);
+  }
+
+  // --- collectives (all collective over this communicator) ----------------
+
+  /// Binomial-tree barrier (reduce-to-root + broadcast of empty payloads).
+  void barrier() const;
+
+  /// Binomial-tree broadcast of `data` from `root` to everyone.
+  template <typename T>
+  void broadcast(int root, std::span<T> data) const;
+
+  /// Binomial-tree reduction with an element-wise associative `op`; result
+  /// valid on `root` only. in/out may alias.
+  template <typename T>
+  void reduce(int root, std::span<const T> in, std::span<T> out,
+              const std::function<T(T, T)>& op) const;
+
+  /// reduce + broadcast (the era-typical implementation).
+  template <typename T>
+  void allreduce(std::span<const T> in, std::span<T> out,
+                 const std::function<T(T, T)>& op) const;
+
+  double allreduce_sum(double value) const;
+  double allreduce_max(double value) const;
+
+  /// Root gathers `counts[r]` elements from each rank r (counts known on all
+  /// ranks). Result valid on root only, concatenated in rank order.
+  template <typename T>
+  std::vector<T> gatherv(int root, std::span<const T> mine,
+                         std::span<const int> counts) const;
+
+  /// Inverse of gatherv: root holds concatenated data, each rank gets its
+  /// slice.
+  template <typename T>
+  std::vector<T> scatterv(int root, std::span<const T> all,
+                          std::span<const int> counts) const;
+
+  /// Every rank ends up with the rank-order concatenation of all blocks.
+  template <typename T>
+  std::vector<T> allgatherv(std::span<const T> mine,
+                            std::span<const int> counts) const;
+
+  /// Fixed-size allgather: every rank contributes `mine` (equal sizes) and
+  /// receives the rank-order concatenation.
+  template <typename T>
+  std::vector<T> allgather(std::span<const T> mine) const {
+    const std::vector<int> counts(static_cast<std::size_t>(size()),
+                                  static_cast<int>(mine.size()));
+    return allgatherv<T>(mine, counts);
+  }
+
+  /// Fixed-size personalised all-to-all: `send.size() == size()*block` and
+  /// block elements go to each rank.
+  template <typename T>
+  std::vector<T> alltoall(std::span<const T> send, int block) const {
+    const std::vector<int> counts(static_cast<std::size_t>(size()), block);
+    return alltoallv<T>(send, counts, counts);
+  }
+
+  /// Inclusive prefix scan: rank r receives op(x_0, ..., x_r), element-wise.
+  /// Implemented as the classic chain (deterministic, O(P) latency — the
+  /// era-typical portable implementation).
+  template <typename T>
+  void scan(std::span<const T> in, std::span<T> out,
+            const std::function<T(T, T)>& op) const;
+
+  /// Reduce + scatter of equal blocks: every rank gets the element-wise
+  /// reduction of its own `block`-sized slice across all ranks.
+  template <typename T>
+  std::vector<T> reduce_scatter_block(std::span<const T> in, int block,
+                                      const std::function<T(T, T)>& op) const;
+
+  /// Personalised all-to-all with per-pair counts. `send_counts[r]` elements
+  /// go to rank r (taken from `send_data` in rank order); the result is the
+  /// concatenation of blocks received from ranks 0..P-1. Implemented as
+  /// P-1 rounds of pairwise exchange. Messages with zero elements are
+  /// skipped entirely (this matters: the load-balanced filter sends nothing
+  /// between most pairs).
+  template <typename T>
+  std::vector<T> alltoallv(std::span<const T> send_data,
+                           std::span<const int> send_counts,
+                           std::span<const int> recv_counts) const;
+
+ private:
+  Communicator(simnet::RankContext& ctx, std::vector<int> members, int rank,
+               std::int64_t context_id);
+
+  int global(int local_rank) const {
+    if (local_rank < 0 || local_rank >= size()) {
+      throw CommError("rank " + std::to_string(local_rank) +
+                      " out of range for communicator of size " +
+                      std::to_string(size()));
+    }
+    return members_[static_cast<std::size_t>(local_rank)];
+  }
+
+  static void check_tag(int tag) {
+    if (tag < 0 || tag >= kMaxUserTag) {
+      throw CommError("tag " + std::to_string(tag) + " out of range");
+    }
+  }
+
+  std::int64_t combine_tag(int tag) const {
+    return static_cast<std::int64_t>(context_id_) * kMaxUserTag + tag;
+  }
+
+  static constexpr int kMaxUserTag = 1 << 12;
+
+  simnet::RankContext* ctx_;
+  std::vector<int> members_;  ///< local rank -> machine rank
+  int rank_;                  ///< my local rank
+  std::int64_t context_id_;   ///< isolates traffic between communicators
+  mutable int next_context_ = 1;  ///< allocator for child context ids
+};
+
+// --- template implementations ----------------------------------------------
+
+namespace detail {
+/// Rounds of a binomial tree rooted at 0 over `size` ranks, for the rank
+/// whose *relative* id is `rel`. Parent/children helper.
+inline int tree_parent(int rel) {
+  // Clear the lowest set bit.
+  return rel & (rel - 1);
+}
+}  // namespace detail
+
+template <typename T>
+void Communicator::broadcast(int root, std::span<T> data) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  if (p == 1) return;
+  const int rel = (rank_ - root + p) % p;
+  constexpr int kTag = kMaxUserTag - 1;
+  if (rel != 0) {
+    const int parent_rel = detail::tree_parent(rel);
+    recv<T>((parent_rel + root) % p, kTag, data);
+  }
+  // Forward to children: rel + 2^k for every 2^k > lowest set bit of rel
+  // (for rel==0: all powers of two below p).
+  for (int bit = 1; bit < p; bit <<= 1) {
+    if (rel != 0 && (rel & bit)) break;  // bits below my lowest set bit done
+    const int child_rel = rel | bit;
+    if (child_rel != rel && child_rel < p) {
+      send<T>((child_rel + root) % p, kTag,
+              std::span<const T>(data.data(), data.size()));
+    }
+  }
+}
+
+template <typename T>
+void Communicator::reduce(int root, std::span<const T> in, std::span<T> out,
+                          const std::function<T(T, T)>& op) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  AGCM_ASSERT(in.size() == out.size());
+  const int p = size();
+  std::vector<T> acc(in.begin(), in.end());
+  constexpr int kTag = kMaxUserTag - 2;
+  const int rel = (rank_ - root + p) % p;
+  std::vector<T> incoming(in.size());
+  // Children send up the binomial tree, leaves first.
+  for (int bit = 1; bit < p; bit <<= 1) {
+    if (rel & bit) {
+      // I have a parent at (rel without this bit); send and stop.
+      const int parent_rel = rel ^ bit;
+      send<T>((parent_rel + root) % p, kTag,
+              std::span<const T>(acc.data(), acc.size()));
+      break;
+    }
+    const int child_rel = rel | bit;
+    if (child_rel < p) {
+      recv<T>((child_rel + root) % p, kTag,
+              std::span<T>(incoming.data(), incoming.size()));
+      // Reduction order fixed by tree structure => deterministic.
+      const double flops = static_cast<double>(in.size());
+      charge_flops(flops);
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = op(acc[i], incoming[i]);
+    }
+  }
+  if (rel == 0) std::copy(acc.begin(), acc.end(), out.begin());
+}
+
+template <typename T>
+void Communicator::allreduce(std::span<const T> in, std::span<T> out,
+                             const std::function<T(T, T)>& op) const {
+  reduce<T>(0, in, out, op);
+  broadcast<T>(0, out);
+}
+
+template <typename T>
+std::vector<T> Communicator::gatherv(int root, std::span<const T> mine,
+                                     std::span<const int> counts) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  AGCM_ASSERT(static_cast<int>(counts.size()) == p);
+  AGCM_ASSERT(static_cast<int>(mine.size()) ==
+              counts[static_cast<std::size_t>(rank_)]);
+  constexpr int kTag = kMaxUserTag - 3;
+  // Binomial gather: each round, ranks holding contiguous segments merge.
+  // For simplicity and identical message counts to MPI_Gatherv's flat
+  // implementation of the era, use direct sends to root.
+  std::vector<T> all;
+  if (rank_ == root) {
+    std::size_t total = 0;
+    for (int c : counts) total += static_cast<std::size_t>(c);
+    all.resize(total);
+    std::size_t offset = 0;
+    for (int r = 0; r < p; ++r) {
+      const auto n = static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]);
+      if (r == rank_) {
+        std::copy(mine.begin(), mine.end(), all.begin() + static_cast<std::ptrdiff_t>(offset));
+      } else if (n > 0) {
+        recv<T>(r, kTag, std::span<T>(all.data() + offset, n));
+      }
+      offset += n;
+    }
+  } else if (!mine.empty()) {
+    send<T>(root, kTag, mine);
+  }
+  return all;
+}
+
+template <typename T>
+std::vector<T> Communicator::scatterv(int root, std::span<const T> all,
+                                      std::span<const int> counts) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  AGCM_ASSERT(static_cast<int>(counts.size()) == p);
+  constexpr int kTag = kMaxUserTag - 4;
+  const auto my_count =
+      static_cast<std::size_t>(counts[static_cast<std::size_t>(rank_)]);
+  std::vector<T> mine(my_count);
+  if (rank_ == root) {
+    std::size_t offset = 0;
+    for (int r = 0; r < p; ++r) {
+      const auto n = static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]);
+      if (r == rank_) {
+        std::copy(all.begin() + static_cast<std::ptrdiff_t>(offset),
+                  all.begin() + static_cast<std::ptrdiff_t>(offset + n),
+                  mine.begin());
+      } else if (n > 0) {
+        send<T>(r, kTag, std::span<const T>(all.data() + offset, n));
+      }
+      offset += n;
+    }
+  } else if (my_count > 0) {
+    recv<T>(root, kTag, std::span<T>(mine.data(), mine.size()));
+  }
+  return mine;
+}
+
+template <typename T>
+std::vector<T> Communicator::allgatherv(std::span<const T> mine,
+                                        std::span<const int> counts) const {
+  std::vector<T> all = gatherv<T>(0, mine, counts);
+  std::size_t total = 0;
+  for (int c : counts) total += static_cast<std::size_t>(c);
+  all.resize(total);
+  broadcast<T>(0, std::span<T>(all.data(), all.size()));
+  return all;
+}
+
+template <typename T>
+void Communicator::scan(std::span<const T> in, std::span<T> out,
+                        const std::function<T(T, T)>& op) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  AGCM_ASSERT(in.size() == out.size());
+  constexpr int kTag = kMaxUserTag - 6;
+  std::copy(in.begin(), in.end(), out.begin());
+  if (rank_ > 0) {
+    std::vector<T> prefix(in.size());
+    recv<T>(rank_ - 1, kTag, prefix);
+    charge_flops(static_cast<double>(in.size()));
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] = op(prefix[i], out[i]);
+  }
+  if (rank_ + 1 < size()) {
+    send<T>(rank_ + 1, kTag, std::span<const T>(out.data(), out.size()));
+  }
+}
+
+template <typename T>
+std::vector<T> Communicator::reduce_scatter_block(
+    std::span<const T> in, int block, const std::function<T(T, T)>& op) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  AGCM_ASSERT(static_cast<int>(in.size()) == p * block);
+  // Reduce everything to rank 0, then scatter the blocks — the simple
+  // portable composition of the era.
+  std::vector<T> reduced(in.size());
+  reduce<T>(0, in, reduced, op);
+  std::vector<int> counts(static_cast<std::size_t>(p), block);
+  return scatterv<T>(0, reduced, counts);
+}
+
+template <typename T>
+std::vector<T> Communicator::alltoallv(std::span<const T> send_data,
+                                       std::span<const int> send_counts,
+                                       std::span<const int> recv_counts) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  AGCM_ASSERT(static_cast<int>(send_counts.size()) == p);
+  AGCM_ASSERT(static_cast<int>(recv_counts.size()) == p);
+  constexpr int kTag = kMaxUserTag - 5;
+
+  std::vector<std::size_t> send_offsets(static_cast<std::size_t>(p) + 1, 0);
+  std::vector<std::size_t> recv_offsets(static_cast<std::size_t>(p) + 1, 0);
+  for (int r = 0; r < p; ++r) {
+    const auto ur = static_cast<std::size_t>(r);
+    send_offsets[ur + 1] = send_offsets[ur] + static_cast<std::size_t>(send_counts[ur]);
+    recv_offsets[ur + 1] = recv_offsets[ur] + static_cast<std::size_t>(recv_counts[ur]);
+  }
+  AGCM_ASSERT(send_offsets.back() == send_data.size());
+  std::vector<T> recv_data(recv_offsets.back());
+
+  // Self block: plain copy, no message.
+  {
+    const auto ur = static_cast<std::size_t>(rank_);
+    std::copy(send_data.begin() + static_cast<std::ptrdiff_t>(send_offsets[ur]),
+              send_data.begin() + static_cast<std::ptrdiff_t>(send_offsets[ur + 1]),
+              recv_data.begin() + static_cast<std::ptrdiff_t>(recv_offsets[ur]));
+  }
+  // P-1 rounds of pairwise exchange: in round s we send to (rank+s) and
+  // receive from (rank-s).
+  for (int s = 1; s < p; ++s) {
+    const int dst = (rank_ + s) % p;
+    const int src = (rank_ - s + p) % p;
+    const auto udst = static_cast<std::size_t>(dst);
+    const auto usrc = static_cast<std::size_t>(src);
+    const auto nsend = send_offsets[udst + 1] - send_offsets[udst];
+    const auto nrecv = recv_offsets[usrc + 1] - recv_offsets[usrc];
+    if (nsend > 0) {
+      send<T>(dst, kTag,
+              std::span<const T>(send_data.data() + send_offsets[udst], nsend));
+    }
+    if (nrecv > 0) {
+      recv<T>(src, kTag,
+              std::span<T>(recv_data.data() + recv_offsets[usrc], nrecv));
+    }
+  }
+  return recv_data;
+}
+
+}  // namespace agcm::comm

@@ -1,0 +1,44 @@
+#include "comm/mesh2d.hpp"
+
+namespace agcm::comm {
+
+namespace {
+const Communicator& validate_mesh(const Communicator& world, int rows,
+                                  int cols) {
+  check_config(rows > 0 && cols > 0, "mesh dimensions must be positive");
+  check_config(world.size() == rows * cols,
+               "world size " + std::to_string(world.size()) + " != mesh " +
+                   std::to_string(rows) + "x" + std::to_string(cols));
+  return world;
+}
+}  // namespace
+
+Mesh2D::Mesh2D(const Communicator& world, int rows, int cols)
+    : world_(validate_mesh(world, rows, cols)),
+      row_comm_(world.split(world.rank() / cols, world.rank() % cols)),
+      col_comm_(world.split(world.rank() % cols, world.rank() / cols)),
+      rows_(rows),
+      cols_(cols) {
+  coord_.row = world.rank() / cols;
+  coord_.col = world.rank() % cols;
+}
+
+int Mesh2D::west() const {
+  return rank_of({coord_.row, (coord_.col - 1 + cols_) % cols_});
+}
+
+int Mesh2D::east() const {
+  return rank_of({coord_.row, (coord_.col + 1) % cols_});
+}
+
+std::optional<int> Mesh2D::north() const {
+  if (coord_.row + 1 >= rows_) return std::nullopt;
+  return rank_of({coord_.row + 1, coord_.col});
+}
+
+std::optional<int> Mesh2D::south() const {
+  if (coord_.row == 0) return std::nullopt;
+  return rank_of({coord_.row - 1, coord_.col});
+}
+
+}  // namespace agcm::comm

@@ -1,0 +1,54 @@
+// Cartesian 2-D process mesh.
+//
+// The parallel AGCM decomposes the horizontal (latitude x longitude) plane
+// over an M x N processor mesh: M processor rows in the latitudinal
+// direction, N processor columns in the longitudinal direction (paper,
+// Section 3.3). Ranks are row-major: rank = row * N + col.
+#pragma once
+
+#include <optional>
+
+#include "comm/communicator.hpp"
+
+namespace agcm::comm {
+
+/// Coordinates of one node in the process mesh.
+struct MeshCoord {
+  int row = 0;  ///< latitudinal index, 0 = southernmost block row
+  int col = 0;  ///< longitudinal index, 0 = westernmost block column
+};
+
+/// A 2-D process mesh with row and column sub-communicators.
+class Mesh2D {
+ public:
+  /// Collective over `world`; requires world.size() == rows * cols.
+  Mesh2D(const Communicator& world, int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  MeshCoord coord() const { return coord_; }
+  int rank_of(MeshCoord c) const { return c.row * cols_ + c.col; }
+
+  const Communicator& world() const { return world_; }
+  /// All nodes in my mesh row (shares my latitude band, spans longitudes).
+  const Communicator& row_comm() const { return row_comm_; }
+  /// All nodes in my mesh column (spans latitude bands).
+  const Communicator& col_comm() const { return col_comm_; }
+
+  /// Neighbour world-ranks; longitude wraps around (periodic), latitude
+  /// does not (the poles end the domain).
+  int west() const;   ///< always valid (periodic)
+  int east() const;   ///< always valid (periodic)
+  std::optional<int> north() const;  ///< toward higher row; empty at edge
+  std::optional<int> south() const;  ///< toward lower row; empty at edge
+
+ private:
+  Communicator world_;
+  Communicator row_comm_;
+  Communicator col_comm_;
+  int rows_;
+  int cols_;
+  MeshCoord coord_;
+};
+
+}  // namespace agcm::comm

@@ -1,0 +1,54 @@
+// Tracer advection — the routine the paper singles out for single-node
+// optimization (Section 3.4: "We selected the advection routine from the
+// Dynamics component ... because of the heavy local computing involved").
+//
+// Two implementations produce bit-identical results:
+//   * advect_tracers_baseline — structured like the original Fortran: one
+//     pass per tracer, each pass recomputing the mass fluxes and metric
+//     factors it needs inside the loops (the "redundant calculations in
+//     nested loops" the paper eliminates).
+//   * advect_tracers_optimized — the paper's optimizations applied: mass
+//     fluxes computed once and reused across tracers, loop-invariant metric
+//     terms hoisted, loops fused over tracers.
+// Both use first-order upwind fluxes in flux form, which conserves the
+// tracer mass exactly (the integration tests rely on this).
+#pragma once
+
+#include <span>
+
+#include "dynamics/state.hpp"
+
+namespace agcm::dynamics {
+
+/// Cost of one advection invocation for the virtual clock.
+struct KernelCost {
+  double flops = 0.0;
+  double cache_efficiency = 1.0;
+};
+
+/// Metric factors precomputed per latitude row (construction-time).
+struct Metrics {
+  std::vector<double> inv_area;    ///< 1 / cell_area(j)
+  std::vector<double> dy_face;     ///< meridional face length (m), per j row
+  std::vector<double> dx_vface;    ///< zonal length of the v-face at j+1/2
+  static Metrics build(const grid::LatLonGrid& grid, const grid::LocalBox& box);
+};
+
+/// Advances `tracers` (centre fields, ghost >= 1, halos current) by dt with
+/// upwind fluxes derived from (u, v, h_old); `h_old` and `h_new` are the
+/// thickness before/after the continuity update of the same step.
+KernelCost advect_tracers_baseline(
+    const grid::LatLonGrid& grid, const grid::LocalBox& box,
+    const Metrics& metrics, const grid::Array3D<double>& h_old,
+    const grid::Array3D<double>& h_new, const grid::Array3D<double>& u,
+    const grid::Array3D<double>& v,
+    std::span<grid::Array3D<double>* const> tracers, double dt);
+
+KernelCost advect_tracers_optimized(
+    const grid::LatLonGrid& grid, const grid::LocalBox& box,
+    const Metrics& metrics, const grid::Array3D<double>& h_old,
+    const grid::Array3D<double>& h_new, const grid::Array3D<double>& u,
+    const grid::Array3D<double>& v,
+    std::span<grid::Array3D<double>* const> tracers, double dt);
+
+}  // namespace agcm::dynamics

@@ -1,0 +1,429 @@
+#include "dynamics/dynamics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "grid/halo.hpp"
+#include "util/error.hpp"
+
+namespace agcm::dynamics {
+
+namespace {
+
+// The substitute dycore implements the shallow-water skeleton of the
+// Arakawa-Lamb primitive-equation core. The real AGCM does substantially
+// more arithmetic per point per step (vertical advection, hydrostatic and
+// energy-conversion terms, implicit boundary-layer solves). This factor
+// scales the *virtual cost* of the FD sweeps to the full dycore's
+// arithmetic intensity; the executed computation stays the shallow-water
+// one. Calibrated once against the paper's 1-node Paragon timing (Table 4);
+// never tuned per experiment.
+constexpr double kFullDycoreFactor = 4.5;
+
+}  // namespace
+
+std::vector<filter::FilteredVariable> Dynamics::filtered_variables() {
+  return {
+      {"u", filter::FilterKind::kStrong},
+      {"v", filter::FilterKind::kStrong},
+      {"h", filter::FilterKind::kStrong},
+      {"theta", filter::FilterKind::kWeak},
+      {"q", filter::FilterKind::kWeak},
+  };
+}
+
+Dynamics::Dynamics(const comm::Mesh2D& mesh, const grid::Decomp2D& decomp,
+                   const grid::LatLonGrid& grid, const DynamicsConfig& config)
+    : mesh_(&mesh), decomp_(&decomp), grid_(&grid), config_(config),
+      box_(decomp.box(mesh.coord())),
+      metrics_(Metrics::build(grid, box_)),
+      bank_(std::make_unique<filter::FilterBank>(grid, filtered_variables())),
+      h_new_(box_.ni, box_.nj, grid.nlev(), 1),
+      u_new_(box_.ni, box_.nj, grid.nlev(), 1),
+      v_new_(box_.ni, box_.nj, grid.nlev(), 1),
+      h_prev_(box_.ni, box_.nj, grid.nlev(), 1),
+      u_prev_(box_.ni, box_.nj, grid.nlev(), 1),
+      v_prev_(box_.ni, box_.nj, grid.nlev(), 1) {
+  check_config(config.dt_sec > 0.0, "dt must be positive");
+  check_config(config.robert_asselin >= 0.0 && config.robert_asselin < 0.5,
+               "Robert-Asselin coefficient must be in [0, 0.5)");
+  if (config_.use_polar_filter) {
+    filter_ = filter::make_filter(config_.filter_algorithm, mesh, decomp,
+                                  *bank_);
+  }
+}
+
+void Dynamics::exchange_all_halos(State& state) {
+  grid::exchange_halo(*mesh_, state.h);
+  grid::exchange_halo(*mesh_, state.u);
+  grid::exchange_halo(*mesh_, state.v);
+  grid::exchange_halo(*mesh_, state.theta);
+  grid::exchange_halo(*mesh_, state.q);
+}
+
+void Dynamics::apply_filter(State& state) {
+  if (!filter_) return;
+  grid::Array3D<double>* fields[] = {&state.u, &state.v, &state.h,
+                                     &state.theta, &state.q};
+  filter_->apply(fields);
+}
+
+void Dynamics::step(State& state) {
+  auto& clock = mesh_->world().context().clock();
+  timings_ = DynamicsTimings{};
+
+  // 1. Spectral filtering "at each time step before the finite-difference
+  //    procedures are called".
+  double t0 = clock.now();
+  apply_filter(state);
+  mesh_->world().barrier();  // component timing boundary (as in the paper)
+  timings_.filter_sec = clock.now() - t0;
+
+  // 2. Ghost-point exchanges for the FD sweeps.
+  t0 = clock.now();
+  exchange_all_halos(state);
+  timings_.halo_sec = clock.now() - t0;
+
+  // 3. Finite differences (+ upwind tracers).
+  t0 = clock.now();
+  if (config_.time_scheme == TimeScheme::kLeapfrog) {
+    finite_differences_leapfrog(state);
+  } else {
+    finite_differences(state);
+  }
+  timings_.fd_sec = clock.now() - t0;
+
+  state.time_sec += config_.dt_sec;
+  ++state.step;
+}
+
+void Dynamics::finite_differences(State& state) {
+  auto& clock = mesh_->world().context().clock();
+  const int nk = grid_->nlev();
+  const double dt = config_.dt_sec;
+  const double g = grid_->planet().gravity;
+  const double omega = grid_->planet().omega;
+  const double dy = grid_->dy_m();
+  const double kappa = config_.kappa_smooth;
+  const int global_nlat = grid_->nlat();
+
+  // --- continuity: h_new = h - dt/area * div(mass flux), flux form -------
+  for (int k = 0; k < nk; ++k) {
+    for (int j = 0; j < box_.nj; ++j) {
+      const double inv_area = metrics_.inv_area[static_cast<std::size_t>(j)];
+      const double dxn = metrics_.dx_vface[static_cast<std::size_t>(j) + 1];
+      const double dxs = metrics_.dx_vface[static_cast<std::size_t>(j)];
+      const double dyf = metrics_.dy_face[static_cast<std::size_t>(j)];
+      for (int i = 0; i < box_.ni; ++i) {
+        const double fe = state.u(i, j, k) * 0.5 *
+                          (state.h(i, j, k) + state.h(i + 1, j, k)) * dyf;
+        const double fw = state.u(i - 1, j, k) * 0.5 *
+                          (state.h(i - 1, j, k) + state.h(i, j, k)) * dyf;
+        const double fn = state.v(i, j, k) * 0.5 *
+                          (state.h(i, j, k) + state.h(i, j + 1, k)) * dxn;
+        const double fs = state.v(i, j - 1, k) * 0.5 *
+                          (state.h(i, j - 1, k) + state.h(i, j, k)) * dxs;
+        h_new_(i, j, k) =
+            state.h(i, j, k) - dt * inv_area * (fe - fw + fn - fs);
+      }
+    }
+  }
+  const double points = static_cast<double>(box_.ni) * box_.nj * nk;
+  // Inner loops run over the local zonal extent; narrow blocks pay the
+  // machine's pipeline-startup penalty.
+  const double loop_eff = clock.profile().loop_efficiency(box_.ni);
+  clock.compute(kFullDycoreFactor * 16.0 * points, loop_eff);
+
+  // The momentum PGF needs h_new ghosts.
+  grid::exchange_halo(*mesh_, h_new_);
+
+  // --- momentum (backward step: uses h_new for the pressure gradient) ----
+  for (int k = 0; k < nk; ++k) {
+    for (int j = 0; j < box_.nj; ++j) {
+      const int gj = box_.j0 + j;
+      const double lat_u = grid_->lat_center(gj);
+      const double f_u = 2.0 * omega * std::sin(lat_u);
+      const double dx_u = grid_->dx_m(gj);
+      const bool south_edge = (gj == 0);
+      const bool north_edge = (gj == global_nlat - 1);
+      for (int i = 0; i < box_.ni; ++i) {
+        // u on the east face of (i, j).
+        const double vbar = 0.25 * (state.v(i, j, k) + state.v(i + 1, j, k) +
+                                    state.v(i, j - 1, k) +
+                                    state.v(i + 1, j - 1, k));
+        const double pgf_x =
+            -g * (h_new_(i + 1, j, k) - h_new_(i, j, k)) / dx_u;
+        const double u_n =
+            north_edge ? state.u(i, j, k) : state.u(i, j + 1, k);
+        const double u_s =
+            south_edge ? state.u(i, j, k) : state.u(i, j - 1, k);
+        // Grid-space del-2 smoothing (see DynamicsConfig::kappa_smooth).
+        const double smooth_u =
+            kappa * (state.u(i + 1, j, k) + state.u(i - 1, j, k) -
+                     2.0 * state.u(i, j, k)) +
+            kappa * (u_n + u_s - 2.0 * state.u(i, j, k));
+        u_new_(i, j, k) =
+            state.u(i, j, k) + dt * (f_u * vbar + pgf_x) + smooth_u;
+
+        // v on the north face of (i, j); the polar faces stay at rest.
+        if (gj + 1 >= global_nlat) {
+          v_new_(i, j, k) = 0.0;
+          continue;
+        }
+        const double lat_v = grid_->lat_vface(gj + 1);
+        const double f_v = 2.0 * omega * std::sin(lat_v);
+        const double ubar = 0.25 * (state.u(i, j, k) + state.u(i - 1, j, k) +
+                                    state.u(i, j + 1, k) +
+                                    state.u(i - 1, j + 1, k));
+        const double pgf_y =
+            -g * (h_new_(i, j + 1, k) - h_new_(i, j, k)) / dy;
+        const double v_n =
+            north_edge ? state.v(i, j, k) : state.v(i, j + 1, k);
+        const double v_s = state.v(i, j - 1, k);
+        const double smooth_v =
+            kappa * (state.v(i + 1, j, k) + state.v(i - 1, j, k) -
+                     2.0 * state.v(i, j, k)) +
+            kappa * (v_n + v_s - 2.0 * state.v(i, j, k));
+        v_new_(i, j, k) =
+            state.v(i, j, k) + dt * (-f_v * ubar + pgf_y) + smooth_v;
+      }
+    }
+  }
+  clock.compute(kFullDycoreFactor * 44.0 * points, loop_eff);
+
+  // --- tracer transport (the paper's "advection routine") ----------------
+  grid::Array3D<double>* tracers[] = {&state.theta, &state.q};
+  const KernelCost advection_cost =
+      config_.optimized_advection
+          ? advect_tracers_optimized(*grid_, box_, metrics_, state.h, h_new_,
+                                     state.u, state.v, tracers, dt)
+          : advect_tracers_baseline(*grid_, box_, metrics_, state.h, h_new_,
+                                    state.u, state.v, tracers, dt);
+  clock.compute(kFullDycoreFactor * advection_cost.flops,
+                advection_cost.cache_efficiency * loop_eff);
+
+  // --- commit -------------------------------------------------------------
+  for (int k = 0; k < nk; ++k) {
+    for (int j = 0; j < box_.nj; ++j) {
+      for (int i = 0; i < box_.ni; ++i) {
+        state.h(i, j, k) = h_new_(i, j, k);
+        state.u(i, j, k) = u_new_(i, j, k);
+        state.v(i, j, k) = v_new_(i, j, k);
+      }
+    }
+  }
+  clock.memory_traffic(6.0 * points * sizeof(double));
+}
+
+void Dynamics::finite_differences_leapfrog(State& state) {
+  if (!have_prev_) {
+    // Prime the lagged level with the pre-step state, then advance the
+    // first step forward-backward (the standard leapfrog start).
+    h_prev_ = state.h;
+    u_prev_ = state.u;
+    v_prev_ = state.v;
+    finite_differences(state);
+    have_prev_ = true;
+    return;
+  }
+
+  auto& clock = mesh_->world().context().clock();
+  const int nk = grid_->nlev();
+  const double dt = config_.dt_sec;
+  const double dt2 = 2.0 * dt;
+  const double g = grid_->planet().gravity;
+  const double omega = grid_->planet().omega;
+  const double dy = grid_->dy_m();
+  const double kappa = config_.kappa_smooth;
+  const double alpha = config_.robert_asselin;
+  const int global_nlat = grid_->nlat();
+
+  // The smoothing terms are evaluated on the lagged level (explicit
+  // diffusion at level n is unstable under leapfrog), so the lagged fields
+  // need current ghosts.
+  grid::exchange_halo(*mesh_, h_prev_);
+  grid::exchange_halo(*mesh_, u_prev_);
+  grid::exchange_halo(*mesh_, v_prev_);
+
+  // --- continuity: h^{n+1} = h^{n-1} - 2 dt div(F^n) ----------------------
+  for (int k = 0; k < nk; ++k) {
+    for (int j = 0; j < box_.nj; ++j) {
+      const double inv_area = metrics_.inv_area[static_cast<std::size_t>(j)];
+      const double dxn = metrics_.dx_vface[static_cast<std::size_t>(j) + 1];
+      const double dxs = metrics_.dx_vface[static_cast<std::size_t>(j)];
+      const double dyf = metrics_.dy_face[static_cast<std::size_t>(j)];
+      for (int i = 0; i < box_.ni; ++i) {
+        const double fe = state.u(i, j, k) * 0.5 *
+                          (state.h(i, j, k) + state.h(i + 1, j, k)) * dyf;
+        const double fw = state.u(i - 1, j, k) * 0.5 *
+                          (state.h(i - 1, j, k) + state.h(i, j, k)) * dyf;
+        const double fn = state.v(i, j, k) * 0.5 *
+                          (state.h(i, j, k) + state.h(i, j + 1, k)) * dxn;
+        const double fs = state.v(i, j - 1, k) * 0.5 *
+                          (state.h(i, j - 1, k) + state.h(i, j, k)) * dxs;
+        h_new_(i, j, k) =
+            h_prev_(i, j, k) - dt2 * inv_area * (fe - fw + fn - fs);
+      }
+    }
+  }
+  const double points = static_cast<double>(box_.ni) * box_.nj * nk;
+  const double loop_eff = clock.profile().loop_efficiency(box_.ni);
+  clock.compute(kFullDycoreFactor * 16.0 * points, loop_eff);
+
+  // --- momentum: x^{n+1} = x^{n-1} + 2 dt T(x^n) + smoothing(x^{n-1}) ----
+  for (int k = 0; k < nk; ++k) {
+    for (int j = 0; j < box_.nj; ++j) {
+      const int gj = box_.j0 + j;
+      const double f_u = 2.0 * omega * std::sin(grid_->lat_center(gj));
+      const double dx_u = grid_->dx_m(gj);
+      const bool south_edge = (gj == 0);
+      const bool north_edge = (gj == global_nlat - 1);
+      for (int i = 0; i < box_.ni; ++i) {
+        const double vbar = 0.25 * (state.v(i, j, k) + state.v(i + 1, j, k) +
+                                    state.v(i, j - 1, k) +
+                                    state.v(i + 1, j - 1, k));
+        const double pgf_x =
+            -g * (state.h(i + 1, j, k) - state.h(i, j, k)) / dx_u;
+        const double up_n =
+            north_edge ? u_prev_(i, j, k) : u_prev_(i, j + 1, k);
+        const double up_s =
+            south_edge ? u_prev_(i, j, k) : u_prev_(i, j - 1, k);
+        const double smooth_u =
+            kappa * (u_prev_(i + 1, j, k) + u_prev_(i - 1, j, k) -
+                     2.0 * u_prev_(i, j, k)) +
+            kappa * (up_n + up_s - 2.0 * u_prev_(i, j, k));
+        u_new_(i, j, k) =
+            u_prev_(i, j, k) + dt2 * (f_u * vbar + pgf_x) + 2.0 * smooth_u;
+
+        if (gj + 1 >= global_nlat) {
+          v_new_(i, j, k) = 0.0;
+          continue;
+        }
+        const double f_v = 2.0 * omega * std::sin(grid_->lat_vface(gj + 1));
+        const double ubar = 0.25 * (state.u(i, j, k) + state.u(i - 1, j, k) +
+                                    state.u(i, j + 1, k) +
+                                    state.u(i - 1, j + 1, k));
+        const double pgf_y =
+            -g * (state.h(i, j + 1, k) - state.h(i, j, k)) / dy;
+        const double vp_n =
+            north_edge ? v_prev_(i, j, k) : v_prev_(i, j + 1, k);
+        const double vp_s = v_prev_(i, j - 1, k);
+        const double smooth_v =
+            kappa * (v_prev_(i + 1, j, k) + v_prev_(i - 1, j, k) -
+                     2.0 * v_prev_(i, j, k)) +
+            kappa * (vp_n + vp_s - 2.0 * v_prev_(i, j, k));
+        v_new_(i, j, k) =
+            v_prev_(i, j, k) + dt2 * (-f_v * ubar + pgf_y) + 2.0 * smooth_v;
+      }
+    }
+  }
+  clock.compute(kFullDycoreFactor * 48.0 * points, loop_eff);
+
+  // --- tracers: forward upwind step n -> n+1 with level-n fluxes ----------
+  grid::Array3D<double>* tracers[] = {&state.theta, &state.q};
+  const KernelCost advection_cost =
+      config_.optimized_advection
+          ? advect_tracers_optimized(*grid_, box_, metrics_, state.h, h_new_,
+                                     state.u, state.v, tracers, dt)
+          : advect_tracers_baseline(*grid_, box_, metrics_, state.h, h_new_,
+                                    state.u, state.v, tracers, dt);
+  clock.compute(kFullDycoreFactor * advection_cost.flops,
+                advection_cost.cache_efficiency * loop_eff);
+
+  // --- Robert-Asselin filter + rotate levels ------------------------------
+  for (int k = 0; k < nk; ++k) {
+    for (int j = 0; j < box_.nj; ++j) {
+      for (int i = 0; i < box_.ni; ++i) {
+        const double hf = state.h(i, j, k) +
+                          alpha * (h_new_(i, j, k) - 2.0 * state.h(i, j, k) +
+                                   h_prev_(i, j, k));
+        const double uf = state.u(i, j, k) +
+                          alpha * (u_new_(i, j, k) - 2.0 * state.u(i, j, k) +
+                                   u_prev_(i, j, k));
+        const double vf = state.v(i, j, k) +
+                          alpha * (v_new_(i, j, k) - 2.0 * state.v(i, j, k) +
+                                   v_prev_(i, j, k));
+        h_prev_(i, j, k) = hf;
+        u_prev_(i, j, k) = uf;
+        v_prev_(i, j, k) = vf;
+        state.h(i, j, k) = h_new_(i, j, k);
+        state.u(i, j, k) = u_new_(i, j, k);
+        state.v(i, j, k) = v_new_(i, j, k);
+      }
+    }
+  }
+  clock.compute(15.0 * points, loop_eff);
+  clock.memory_traffic(6.0 * points * sizeof(double));
+}
+
+double Dynamics::total_mass(const State& state) const {
+  double local = 0.0;
+  for (int k = 0; k < grid_->nlev(); ++k)
+    for (int j = 0; j < box_.nj; ++j) {
+      const double area = grid_->cell_area_m2(box_.j0 + j);
+      for (int i = 0; i < box_.ni; ++i) local += state.h(i, j, k) * area;
+    }
+  return mesh_->world().allreduce_sum(local);
+}
+
+double Dynamics::total_energy(State& state) const {
+  grid::exchange_halo(*mesh_, state.u);
+  grid::exchange_halo(*mesh_, state.v);
+  const double g = grid_->planet().gravity;
+  double local = 0.0;
+  for (int k = 0; k < grid_->nlev(); ++k) {
+    for (int j = 0; j < box_.nj; ++j) {
+      const double area = grid_->cell_area_m2(box_.j0 + j);
+      for (int i = 0; i < box_.ni; ++i) {
+        // Face velocities averaged to the cell centre (needs the west and
+        // south neighbours; the interior-only sum keeps this local because
+        // u(i-1) and v(i,j-1) are ghosts already).
+        const double uc = 0.5 * (state.u(i, j, k) + state.u(i - 1, j, k));
+        const double vc = 0.5 * (state.v(i, j, k) + state.v(i, j - 1, k));
+        const double h = state.h(i, j, k);
+        local += area * (0.5 * h * (uc * uc + vc * vc) + 0.5 * g * h * h);
+      }
+    }
+  }
+  return mesh_->world().allreduce_sum(local);
+}
+
+double Dynamics::total_tracer_mass(const State& state,
+                                   const grid::Array3D<double>& tracer) const {
+  double local = 0.0;
+  for (int k = 0; k < grid_->nlev(); ++k)
+    for (int j = 0; j < box_.nj; ++j) {
+      const double area = grid_->cell_area_m2(box_.j0 + j);
+      for (int i = 0; i < box_.ni; ++i)
+        local += tracer(i, j, k) * state.h(i, j, k) * area;
+    }
+  return mesh_->world().allreduce_sum(local);
+}
+
+double Dynamics::max_zonal_courant(const State& state) const {
+  double local = 0.0;
+  for (int k = 0; k < grid_->nlev(); ++k)
+    for (int j = 0; j < box_.nj; ++j) {
+      const double dx = grid_->dx_m(box_.j0 + j);
+      for (int i = 0; i < box_.ni; ++i)
+        local = std::max(local,
+                         std::abs(state.u(i, j, k)) * config_.dt_sec / dx);
+    }
+  return mesh_->world().allreduce_max(local);
+}
+
+double Dynamics::max_gravity_courant(const State& state) const {
+  const double g = grid_->planet().gravity;
+  double local = 0.0;
+  for (int k = 0; k < grid_->nlev(); ++k)
+    for (int j = 0; j < box_.nj; ++j) {
+      const double dx = std::min(grid_->dx_m(box_.j0 + j), grid_->dy_m());
+      for (int i = 0; i < box_.ni; ++i) {
+        const double h = std::max(state.h(i, j, k), 0.0);
+        local = std::max(local, std::sqrt(g * h) * config_.dt_sec / dx);
+      }
+    }
+  return mesh_->world().allreduce_max(local);
+}
+
+}  // namespace agcm::dynamics

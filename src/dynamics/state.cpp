@@ -1,0 +1,70 @@
+#include "dynamics/state.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace agcm::dynamics {
+
+State::State(const grid::LocalBox& box, int nlev)
+    : h(box.ni, box.nj, nlev, /*ghost=*/1),
+      u(box.ni, box.nj, nlev, /*ghost=*/1),
+      v(box.ni, box.nj, nlev, /*ghost=*/1),
+      theta(box.ni, box.nj, nlev, /*ghost=*/1),
+      q(box.ni, box.nj, nlev, /*ghost=*/1) {}
+
+void initialize_state(State& state, const grid::LatLonGrid& grid,
+                      const grid::LocalBox& box, std::uint64_t seed) {
+  const double h0 = 8000.0;       // mean equivalent depth (m)
+  const double jet_speed = 25.0;  // m/s
+  const double g = grid.planet().gravity;
+  const double omega = grid.planet().omega;
+  const double a = grid.planet().radius_m;
+
+  for (int k = 0; k < grid.nlev(); ++k) {
+    const double layer_scale = 1.0 + 0.15 * k;  // faster aloft
+    for (int j = 0; j < box.nj; ++j) {
+      const int gj = box.j0 + j;
+      const double lat = grid.lat_center(gj);
+      const double lat_face = grid.lat_vface(gj + 1);
+      for (int i = 0; i < box.ni; ++i) {
+        const int gi = box.i0 + i;
+        const double lon = grid.lon_center(gi);
+        // Zonal jet peaking at +-45 degrees.
+        const double jet = jet_speed * layer_scale *
+                           std::sin(2.0 * lat) * std::sin(2.0 * lat);
+        // Geostrophically consistent height depression under the jet:
+        // dh/dphi = -(a f u)/g with f = 2 Omega sin(phi); we use the
+        // closed-form integral of the jet profile above.
+        const double f = 2.0 * omega * std::sin(lat);
+        const double hbal =
+            h0 - (a / g) * f * jet * 0.35;  // approximate balance
+        // Small deterministic wavenumber-4 perturbation, amplified toward
+        // the poles so the polar filter has real work to do.
+        Rng rng = Rng::for_stream(seed, (static_cast<std::uint64_t>(k) << 32) ^
+                                            (static_cast<std::uint64_t>(gj) << 16) ^
+                                            static_cast<std::uint64_t>(gi));
+        const double polar_boost = 1.0 + 3.0 * std::pow(std::sin(lat), 8.0);
+        const double bump =
+            (8.0 * std::cos(4.0 * lon) + 2.0 * (rng.uniform() - 0.5)) *
+            polar_boost;
+        state.h(i, j, k) = hbal + bump;
+        state.u(i, j, k) = jet * std::cos(lat_face * 0.0);  // u on east face
+        state.v(i, j, k) = 0.0;
+        // Warm equator, cold poles; stable-ish stratification with layer.
+        state.theta(i, j, k) =
+            300.0 - 40.0 * std::sin(lat) * std::sin(lat) + 3.0 * k +
+            0.5 * (rng.uniform() - 0.5);
+        // Moist tropics.
+        state.q(i, j, k) =
+            0.018 * std::exp(-std::pow(lat / 0.45, 2.0)) *
+            std::exp(-0.35 * k) * (1.0 + 0.1 * (rng.uniform() - 0.5));
+      }
+    }
+  }
+  state.time_sec = 0.0;
+  state.step = 0;
+}
+
+}  // namespace agcm::dynamics

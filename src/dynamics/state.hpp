@@ -1,0 +1,45 @@
+// Prognostic model state on the local block of the Arakawa C-grid.
+//
+// The AGCM/Dynamics substitute integrates multi-layer shallow-water
+// equations: thickness h and tracers (potential temperature theta, specific
+// humidity q) live at cell centres; u sits on east faces, v on north faces
+// (C staggering). All vertical layers are local to a node (2-D horizontal
+// decomposition, as in the paper).
+//
+// Staggering convention on the local block (ghost width 1):
+//   h(i,j,k), theta, q : centre of cell (i,j)
+//   u(i,j,k)           : east face of cell (i,j)   (between i and i+1)
+//   v(i,j,k)           : north face of cell (i,j)  (between j and j+1)
+// Global row j=0 is the southernmost; the v-face at the south edge of cell
+// row 0 and the north edge of row nlat-1 are the poles (zero flux).
+#pragma once
+
+#include <cstdint>
+
+#include "grid/array3d.hpp"
+#include "grid/decomp.hpp"
+#include "grid/latlon.hpp"
+
+namespace agcm::dynamics {
+
+struct State {
+  State() = default;
+  State(const grid::LocalBox& box, int nlev);
+
+  grid::Array3D<double> h;      ///< layer thickness (m)
+  grid::Array3D<double> u;      ///< zonal wind (m/s), east faces
+  grid::Array3D<double> v;      ///< meridional wind (m/s), north faces
+  grid::Array3D<double> theta;  ///< potential temperature (K), centres
+  grid::Array3D<double> q;      ///< specific humidity (kg/kg), centres
+  double time_sec = 0.0;        ///< simulated time
+  std::int64_t step = 0;        ///< completed timesteps
+};
+
+/// Deterministic initial condition: a balanced zonal jet per layer with a
+/// small wavenumber-4 perturbation, mid-latitude theta gradient and a moist
+/// tropics. Identical global fields regardless of the decomposition (each
+/// point's value depends only on its global coordinates and the seed).
+void initialize_state(State& state, const grid::LatLonGrid& grid,
+                      const grid::LocalBox& box, std::uint64_t seed);
+
+}  // namespace agcm::dynamics

@@ -1,0 +1,63 @@
+#include "fft/dft_ref.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace agcm::fft {
+
+std::vector<std::complex<double>> dft(
+    std::span<const std::complex<double>> x) {
+  const auto n = static_cast<int>(x.size());
+  std::vector<std::complex<double>> out(x.size());
+  for (int k = 0; k < n; ++k) {
+    std::complex<double> acc{0.0, 0.0};
+    for (int j = 0; j < n; ++j) {
+      const double angle = -2.0 * std::numbers::pi * j * k / n;
+      acc += x[static_cast<std::size_t>(j)] *
+             std::complex<double>{std::cos(angle), std::sin(angle)};
+    }
+    out[static_cast<std::size_t>(k)] = acc;
+  }
+  return out;
+}
+
+std::vector<std::complex<double>> idft(
+    std::span<const std::complex<double>> x) {
+  const auto n = static_cast<int>(x.size());
+  std::vector<std::complex<double>> out(x.size());
+  for (int k = 0; k < n; ++k) {
+    std::complex<double> acc{0.0, 0.0};
+    for (int j = 0; j < n; ++j) {
+      const double angle = 2.0 * std::numbers::pi * j * k / n;
+      acc += x[static_cast<std::size_t>(j)] *
+             std::complex<double>{std::cos(angle), std::sin(angle)};
+    }
+    out[static_cast<std::size_t>(k)] = acc / static_cast<double>(n);
+  }
+  return out;
+}
+
+std::vector<double> circular_convolution(std::span<const double> a,
+                                         std::span<const double> b) {
+  AGCM_ASSERT(a.size() == b.size());
+  const auto n = static_cast<int>(a.size());
+  std::vector<double> out(a.size(), 0.0);
+  for (int i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (int s = 0; s < n; ++s) {
+      const int idx = (i - s) % n;
+      acc += a[static_cast<std::size_t>(s)] *
+             b[static_cast<std::size_t>((idx + n) % n)];
+    }
+    out[static_cast<std::size_t>(i)] = acc;
+  }
+  return out;
+}
+
+double dft_flops(int n) { return 8.0 * static_cast<double>(n) * n; }
+
+double convolution_flops(int n) { return 2.0 * static_cast<double>(n) * n; }
+
+}  // namespace agcm::fft

@@ -1,0 +1,30 @@
+// Direct O(n^2) discrete Fourier transform, used as the correctness oracle
+// for the FFT and as the cost anchor for the paper's convolution-based
+// filtering (equation (2) is mathematically a direct transform).
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace agcm::fft {
+
+/// X[k] = sum_j x[j] exp(-2*pi*i*j*k/n). Direct evaluation.
+std::vector<std::complex<double>> dft(std::span<const std::complex<double>> x);
+
+/// Inverse with 1/n normalisation.
+std::vector<std::complex<double>> idft(
+    std::span<const std::complex<double>> x);
+
+/// Circular convolution of two real sequences of equal length n, direct
+/// O(n^2) evaluation: out[i] = sum_s a[s] * b[(i - s) mod n].
+std::vector<double> circular_convolution(std::span<const double> a,
+                                         std::span<const double> b);
+
+/// Flop count of one direct length-n transform (virtual-clock accounting).
+double dft_flops(int n);
+
+/// Flop count of one length-n circular convolution.
+double convolution_flops(int n);
+
+}  // namespace agcm::fft

@@ -1,0 +1,74 @@
+// Mixed-radix complex FFT (Cooley-Tukey, decimation in time).
+//
+// The paper replaces the AGCM's convolution filter with FFTs performed
+// locally after a data transpose, using "highly efficient (sometimes vendor
+// provided) FFT library codes on whole latitudinal data lines". We have no
+// vendor library, so this module is the substitute: a from-scratch
+// mixed-radix FFT handling any length whose prime factors are arbitrary
+// (small factors 2/3/5 take the fast path; other primes fall back to a
+// direct DFT butterfly, still correct). The grid length 144 = 2^4 * 3^2 is
+// fully covered by the fast path.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace agcm::fft {
+
+using Complex = std::complex<double>;
+
+/// Precomputed plan for a fixed transform length.
+class FftPlan {
+ public:
+  explicit FftPlan(int n);
+
+  int size() const { return n_; }
+
+  /// In-place forward DFT: X[k] = sum_j x[j] exp(-2*pi*i*j*k/n).
+  void forward(std::span<Complex> data) const;
+
+  /// In-place inverse DFT including the 1/n normalisation.
+  void inverse(std::span<Complex> data) const;
+
+  /// Forward transform of a real line; returns the full complex spectrum
+  /// (length n, conjugate-symmetric).
+  std::vector<Complex> forward_real(std::span<const double> line) const;
+
+  /// Inverse of forward_real: takes a conjugate-symmetric spectrum and
+  /// writes the real signal into `line` (imaginary residue discarded).
+  void inverse_to_real(std::span<Complex> spectrum,
+                       std::span<double> line) const;
+
+  /// Two-for-one real transform: both real lines in a *single* complex FFT
+  /// (pack z = x + i y, then split by conjugate symmetry) — the trick the
+  /// era's vendor FFT libraries used for real data. Writes the two full
+  /// spectra into `sx` and `sy` (length n each).
+  void forward_real_pair(std::span<const double> x, std::span<const double> y,
+                         std::span<Complex> sx, std::span<Complex> sy) const;
+
+  /// Inverse of forward_real_pair: one complex inverse transform recovers
+  /// both real lines.
+  void inverse_to_real_pair(std::span<const Complex> sx,
+                            std::span<const Complex> sy, std::span<double> x,
+                            std::span<double> y) const;
+
+  /// Approximate flop count of one complex transform (for the virtual
+  /// clock): 5 n log2 n, the standard accounting.
+  double flops() const;
+
+ private:
+  void transform(std::span<Complex> data, bool inverse) const;
+  /// Recursive mixed-radix step over a strided view.
+  void recurse(Complex* data, int n, int stride, Complex* scratch,
+               bool inverse) const;
+
+  int n_;
+  std::vector<int> factors_;          ///< prime factorisation of n, ascending
+  std::vector<Complex> twiddle_;      ///< exp(-2 pi i j / n), j in [0, n)
+};
+
+/// Prime factorisation helper (ascending, with multiplicity).
+std::vector<int> prime_factors(int n);
+
+}  // namespace agcm::fft

@@ -1,0 +1,79 @@
+#include "filter/bank.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace agcm::filter {
+
+FilterBank::FilterBank(const grid::LatLonGrid& grid,
+                       std::vector<FilteredVariable> variables)
+    : grid_(&grid), variables_(std::move(variables)) {
+  check_config(!variables_.empty(), "FilterBank needs at least one variable");
+  const int nlat = grid.nlat();
+  const int nlon = grid.nlon();
+
+  response_strong_.resize(static_cast<std::size_t>(nlat));
+  kernel_strong_.resize(static_cast<std::size_t>(nlat));
+  response_weak_.resize(static_cast<std::size_t>(nlat));
+  kernel_weak_.resize(static_cast<std::size_t>(nlat));
+  for (int j = 0; j < nlat; ++j) {
+    const double lat = grid.lat_center(j);
+    const auto uj = static_cast<std::size_t>(j);
+    if (grid.poleward_of(j, cutoff_deg(FilterKind::kStrong))) {
+      response_strong_[uj] = response_line(FilterKind::kStrong, nlon, lat);
+      kernel_strong_[uj] = kernel_from_response(response_strong_[uj]);
+    }
+    if (grid.poleward_of(j, cutoff_deg(FilterKind::kWeak))) {
+      response_weak_[uj] = response_line(FilterKind::kWeak, nlon, lat);
+      kernel_weak_[uj] = kernel_from_response(response_weak_[uj]);
+    }
+  }
+
+  rows_.resize(variables_.size());
+  for (std::size_t v = 0; v < variables_.size(); ++v) {
+    for (int j = 0; j < nlat; ++j) {
+      if (grid.poleward_of(j, cutoff_deg(variables_[v].kind)))
+        rows_[v].push_back(j);
+    }
+  }
+
+  for (int v = 0; v < nvars(); ++v)
+    for (int j : rows_[static_cast<std::size_t>(v)])
+      for (int k = 0; k < grid.nlev(); ++k) lines_.push_back({v, j, k});
+}
+
+bool FilterBank::filtered(int v, int j) const {
+  AGCM_ASSERT(v >= 0 && v < nvars());
+  return grid_->poleward_of(j, cutoff_deg(variables_[static_cast<std::size_t>(v)].kind));
+}
+
+const std::vector<int>& FilterBank::rows(int v) const {
+  AGCM_ASSERT(v >= 0 && v < nvars());
+  return rows_[static_cast<std::size_t>(v)];
+}
+
+std::span<const double> FilterBank::response(int v, int j) const {
+  AGCM_ASSERT(filtered(v, j));
+  const auto uj = static_cast<std::size_t>(j);
+  return variables_[static_cast<std::size_t>(v)].kind == FilterKind::kStrong
+             ? std::span<const double>(response_strong_[uj])
+             : std::span<const double>(response_weak_[uj]);
+}
+
+std::span<const double> FilterBank::kernel(int v, int j) const {
+  AGCM_ASSERT(filtered(v, j));
+  const auto uj = static_cast<std::size_t>(j);
+  return variables_[static_cast<std::size_t>(v)].kind == FilterKind::kStrong
+             ? std::span<const double>(kernel_strong_[uj])
+             : std::span<const double>(kernel_weak_[uj]);
+}
+
+std::vector<LineKey> FilterBank::lines_of(int v) const {
+  std::vector<LineKey> out;
+  for (const LineKey& line : lines_)
+    if (line.var == v) out.push_back(line);
+  return out;
+}
+
+}  // namespace agcm::filter

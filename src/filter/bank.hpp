@@ -1,0 +1,76 @@
+// FilterBank: everything static about a filtering configuration.
+//
+// Given the grid and the list of filtered variables (each strong or weak),
+// the bank precomputes, once:
+//   * which global latitude rows each variable filters,
+//   * the response line S(s, phi) and the equivalent convolution kernel for
+//     every (kind, latitude) pair,
+//   * the global enumeration of "data lines" (variable, latitude, layer) —
+//     the unit of work every parallel variant schedules.
+// This mirrors the paper's observation that S is "independent of time and
+// height": tables are shared across layers and timesteps.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "filter/response.hpp"
+#include "grid/latlon.hpp"
+
+namespace agcm::filter {
+
+/// One filtered model variable.
+struct FilteredVariable {
+  std::string name;
+  FilterKind kind = FilterKind::kStrong;
+};
+
+/// One longitude circle to be filtered.
+struct LineKey {
+  int var = 0;   ///< index into the bank's variable list
+  int j = 0;     ///< global latitude row
+  int k = 0;     ///< vertical layer
+};
+
+class FilterBank {
+ public:
+  FilterBank(const grid::LatLonGrid& grid,
+             std::vector<FilteredVariable> variables);
+
+  const grid::LatLonGrid& grid() const { return *grid_; }
+  int nvars() const { return static_cast<int>(variables_.size()); }
+  const FilteredVariable& variable(int v) const {
+    return variables_[static_cast<std::size_t>(v)];
+  }
+
+  /// True if variable v is filtered at global latitude row j.
+  bool filtered(int v, int j) const;
+
+  /// Global rows filtered for variable v (ascending).
+  const std::vector<int>& rows(int v) const;
+
+  /// Response line S(s, lat_j) for variable v at row j (length nlon).
+  std::span<const double> response(int v, int j) const;
+  /// Equivalent convolution kernel (length nlon).
+  std::span<const double> kernel(int v, int j) const;
+
+  /// All lines (var, j, k), ordered by (var, j, k). Every parallel variant
+  /// schedules exactly this list, so results are comparable bit-for-bit.
+  const std::vector<LineKey>& lines() const { return lines_; }
+
+  /// Lines of a single variable, in (j, k) order (the original AGCM filtered
+  /// "one variable at a time").
+  std::vector<LineKey> lines_of(int v) const;
+
+ private:
+  const grid::LatLonGrid* grid_;
+  std::vector<FilteredVariable> variables_;
+  std::vector<std::vector<int>> rows_;  ///< per variable
+  // Tables keyed by (kind, j); weak and strong kept separately.
+  std::vector<std::vector<double>> response_strong_, kernel_strong_;
+  std::vector<std::vector<double>> response_weak_, kernel_weak_;
+  std::vector<LineKey> lines_;
+};
+
+}  // namespace agcm::filter

@@ -1,0 +1,60 @@
+#include <vector>
+
+#include "filter/serial.hpp"
+#include "filter/variants.hpp"
+#include "util/error.hpp"
+
+namespace agcm::filter {
+
+void filter_owned_lines_fft(const fft::FftPlan& plan, const FilterBank& bank,
+                            std::span<const LineKey> owned,
+                            std::span<double> full_lines,
+                            simnet::VirtualClock& clock) {
+  const auto nlon = static_cast<std::size_t>(plan.size());
+  AGCM_ASSERT(full_lines.size() == owned.size() * nlon);
+  auto line_at = [&](std::size_t p) {
+    return std::span<double>(full_lines.data() + p * nlon, nlon);
+  };
+  std::size_t p = 0;
+  double flops = 0.0;
+  for (; p + 1 < owned.size(); p += 2) {
+    filter_line_pair_fft(plan, line_at(p), line_at(p + 1),
+                         bank.response(owned[p].var, owned[p].j),
+                         bank.response(owned[p + 1].var, owned[p + 1].j));
+    flops += fft_filter_pair_flops(plan.size());
+  }
+  if (p < owned.size()) {
+    filter_line_fft(plan, line_at(p),
+                    bank.response(owned[p].var, owned[p].j));
+    flops += fft_filter_flops(plan.size());
+  }
+  clock.compute(flops, clock.profile().loop_efficiency(plan.size()));
+}
+
+FftTransposeFilter::FftTransposeFilter(const comm::Mesh2D& mesh,
+                                       const grid::Decomp2D& decomp,
+                                       const FilterBank& bank)
+    : PolarFilter(mesh, decomp, bank),
+      fft_plan_(decomp.nlon()),
+      plan_(mesh, decomp, local_lines()) {}
+
+void FftTransposeFilter::apply(
+    std::span<grid::Array3D<double>* const> fields) {
+  validate_fields(fields);
+  const auto& lines = plan_.lines();
+  if (lines.empty()) return;  // nothing to filter in this latitude band
+  auto& clock = mesh().world().context().clock();
+
+  // All weakly filtered variables are filtered concurrently, as are all
+  // strongly filtered ones (Section 3.3): one transpose moves every line.
+  const std::vector<double> chunks = extract_chunks(fields, box(), lines);
+  std::vector<double> full = plan_.to_lines(mesh(), chunks);
+
+  filter_owned_lines_fft(fft_plan_, bank(), plan_.owned_lines(), full,
+                         clock);
+
+  const std::vector<double> back = plan_.to_chunks(mesh(), full);
+  write_chunks(fields, box(), lines, back);
+}
+
+}  // namespace agcm::filter

@@ -1,0 +1,43 @@
+// EXTENSION (beyond the paper): implicit zonal diffusion as the polar
+// treatment, in place of spectral filtering.
+//
+// Several later GCMs replaced polar Fourier filters with an implicit
+// zonal diffusion step: solve, along every filtered latitude circle,
+//   (I + K(phi) L) f' = f,      (L f)_i = 2 f_i - f_{i-1} - f_{i+1},
+// whose spectral response 1 / (1 + K (2 - 2 cos(2 pi s / N))) damps high
+// zonal wavenumbers like the Fourier filter. K(phi) is chosen so the
+// Nyquist response matches the corresponding spectral filter's.
+//
+// The interesting systems question — and why this lives next to the
+// paper's variants — is the communication structure: no transpose at all;
+// instead one distributed periodic tridiagonal solve per line across the
+// processor row (the Section 5 "fast parallel linear system solver").
+// Latency-bound where the transpose-FFT is bandwidth-bound; the ablation
+// bench compares them.
+#pragma once
+
+#include "filter/parallel.hpp"
+#include "linsolve/distributed.hpp"
+
+namespace agcm::filter {
+
+class ImplicitZonalFilter final : public PolarFilter {
+ public:
+  ImplicitZonalFilter(const comm::Mesh2D& mesh, const grid::Decomp2D& decomp,
+                      const FilterBank& bank);
+
+  void apply(std::span<grid::Array3D<double>* const> fields) override;
+  std::string_view name() const override { return "implicit-zonal"; }
+
+  /// Diffusion strength for variable v at global row j, matched to the
+  /// spectral filter's Nyquist response.
+  double strength(int v, int j) const;
+
+  /// Effective spectral response of the implicit operator (for tests).
+  static double response(double k_strength, int wavenumber, int n);
+
+ private:
+  std::vector<LineKey> lines_;  ///< local filtered lines, canonical order
+};
+
+}  // namespace agcm::filter

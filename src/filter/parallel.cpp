@@ -1,0 +1,112 @@
+#include <algorithm>
+#include "filter/parallel.hpp"
+
+#include "filter/implicit_zonal.hpp"
+#include "filter/variants.hpp"
+#include "util/error.hpp"
+
+namespace agcm::filter {
+
+std::string_view algorithm_name(FilterAlgorithm algorithm) {
+  switch (algorithm) {
+    case FilterAlgorithm::kConvolutionRing: return "convolution-ring";
+    case FilterAlgorithm::kConvolutionTree: return "convolution-tree";
+    case FilterAlgorithm::kFftTranspose:    return "fft-transpose";
+    case FilterAlgorithm::kFftBalanced:     return "fft-load-balanced";
+    case FilterAlgorithm::kImplicitZonal:   return "implicit-zonal";
+  }
+  return "unknown";
+}
+
+PolarFilter::PolarFilter(const comm::Mesh2D& mesh,
+                         const grid::Decomp2D& decomp, const FilterBank& bank)
+    : mesh_(&mesh), decomp_(&decomp), bank_(&bank),
+      box_(decomp.box(mesh.coord())) {
+  check_config(decomp.nlon() == bank.grid().nlon() &&
+                   decomp.nlat() == bank.grid().nlat(),
+               "decomposition does not match the filter bank's grid");
+}
+
+std::vector<int> PolarFilter::local_rows(int v) const {
+  std::vector<int> out;
+  for (int j : bank_->rows(v)) {
+    if (j >= box_.j0 && j < box_.j0 + box_.nj) out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<LineKey> PolarFilter::local_lines() const {
+  std::vector<LineKey> out;
+  for (const LineKey& line : bank_->lines()) {
+    if (line.j >= box_.j0 && line.j < box_.j0 + box_.nj) out.push_back(line);
+  }
+  return out;
+}
+
+std::span<double> PolarFilter::chunk(grid::Array3D<double>& field,
+                                     const grid::LocalBox& box, int gj,
+                                     int k) {
+  AGCM_ASSERT(gj >= box.j0 && gj < box.j0 + box.nj);
+  return field.row(gj - box.j0, k);
+}
+
+void PolarFilter::validate_fields(
+    std::span<grid::Array3D<double>* const> fields) const {
+  check_config(static_cast<int>(fields.size()) == bank_->nvars(),
+               "apply() needs one field per registered variable");
+  for (const auto* f : fields) {
+    check_config(f != nullptr, "null field");
+    check_config(f->ni() == box_.ni && f->nj() == box_.nj &&
+                     f->nk() == bank_->grid().nlev(),
+                 "field block shape does not match the decomposition");
+  }
+}
+
+std::vector<double> extract_chunks(
+    std::span<grid::Array3D<double>* const> fields, const grid::LocalBox& box,
+    std::span<const LineKey> lines) {
+  std::vector<double> chunks;
+  chunks.reserve(lines.size() * static_cast<std::size_t>(box.ni));
+  for (const LineKey& line : lines) {
+    const auto row =
+        fields[static_cast<std::size_t>(line.var)]->row(line.j - box.j0, line.k);
+    chunks.insert(chunks.end(), row.begin(), row.end());
+  }
+  return chunks;
+}
+
+void write_chunks(std::span<grid::Array3D<double>* const> fields,
+                  const grid::LocalBox& box, std::span<const LineKey> lines,
+                  std::span<const double> chunks) {
+  AGCM_ASSERT(chunks.size() == lines.size() * static_cast<std::size_t>(box.ni));
+  std::size_t pos = 0;
+  for (const LineKey& line : lines) {
+    auto row =
+        fields[static_cast<std::size_t>(line.var)]->row(line.j - box.j0, line.k);
+    std::copy(chunks.begin() + static_cast<std::ptrdiff_t>(pos),
+              chunks.begin() + static_cast<std::ptrdiff_t>(pos + row.size()),
+              row.begin());
+    pos += row.size();
+  }
+}
+
+std::unique_ptr<PolarFilter> make_filter(FilterAlgorithm algorithm,
+                                         const comm::Mesh2D& mesh,
+                                         const grid::Decomp2D& decomp,
+                                         const FilterBank& bank) {
+  switch (algorithm) {
+    case FilterAlgorithm::kConvolutionRing:
+      return std::make_unique<ConvolutionRingFilter>(mesh, decomp, bank);
+    case FilterAlgorithm::kConvolutionTree:
+      return std::make_unique<ConvolutionTreeFilter>(mesh, decomp, bank);
+    case FilterAlgorithm::kFftTranspose:
+      return std::make_unique<FftTransposeFilter>(mesh, decomp, bank);
+    case FilterAlgorithm::kFftBalanced:
+      return std::make_unique<FftBalancedFilter>(mesh, decomp, bank);
+    case FilterAlgorithm::kImplicitZonal:
+      return std::make_unique<ImplicitZonalFilter>(mesh, decomp, bank);
+  }
+  throw ConfigError("unknown filter algorithm");
+}
+
+}  // namespace agcm::filter

@@ -1,0 +1,109 @@
+// Parallel polar filtering — the four variants the paper compares.
+//
+//   kConvolutionRing  the original AGCM algorithm: physical-space
+//                     convolution, one variable at a time, data rotated
+//                     around the processor ring in the longitudinal
+//                     direction (Section 3.1 / Wehner et al.).
+//   kConvolutionTree  the original code's alternative: whole lines gathered
+//                     with tree communication, each node convolves its own
+//                     output chunk (fewer messages, more volume).
+//   kFftTranspose     Section 3.2: transpose the filtered lines within each
+//                     processor row so FFTs run locally on whole lines.
+//                     All variables are filtered concurrently.
+//   kFftBalanced      Section 3.3: first redistribute data rows in the
+//                     latitudinal direction so every processor ends up with
+//                     ~equal filtering work (Figure 2), then transpose
+//                     within rows (Figure 3), FFT locally, and undo both
+//                     movements. Setup bookkeeping is done once.
+//
+// All variants filter exactly the same set of lines with mathematically
+// equivalent operators, so their outputs agree to rounding — the
+// integration tests rely on this.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "comm/mesh2d.hpp"
+#include "filter/bank.hpp"
+#include "grid/array3d.hpp"
+#include "grid/decomp.hpp"
+
+namespace agcm::filter {
+
+enum class FilterAlgorithm {
+  kConvolutionRing,
+  kConvolutionTree,
+  kFftTranspose,
+  kFftBalanced,
+  /// Extension beyond the paper: implicit zonal diffusion solved with a
+  /// distributed periodic tridiagonal solver (see implicit_zonal.hpp).
+  /// Approximates — does not exactly equal — the spectral filter.
+  kImplicitZonal,
+};
+
+std::string_view algorithm_name(FilterAlgorithm algorithm);
+
+class PolarFilter {
+ public:
+  PolarFilter(const comm::Mesh2D& mesh, const grid::Decomp2D& decomp,
+              const FilterBank& bank);
+  virtual ~PolarFilter() = default;
+
+  PolarFilter(const PolarFilter&) = delete;
+  PolarFilter& operator=(const PolarFilter&) = delete;
+
+  /// Filters the registered variables in place. `fields[v]` is the local
+  /// block of the bank's variable v (interior ni x nj x nlev; ghosts, if
+  /// any, are neither read nor written). Collective over the mesh.
+  virtual void apply(std::span<grid::Array3D<double>* const> fields) = 0;
+
+  virtual std::string_view name() const = 0;
+
+  const comm::Mesh2D& mesh() const { return *mesh_; }
+  const grid::Decomp2D& decomp() const { return *decomp_; }
+  const FilterBank& bank() const { return *bank_; }
+  const grid::LocalBox& box() const { return box_; }
+
+ protected:
+  /// Global rows of variable v inside my latitude band.
+  std::vector<int> local_rows(int v) const;
+
+  /// All lines (var, j, k) whose latitude row falls in my band, in the
+  /// bank's canonical order.
+  std::vector<LineKey> local_lines() const;
+
+  /// The local chunk of the longitude circle (var-block `field`, global row
+  /// gj, layer k): `ni` contiguous doubles.
+  static std::span<double> chunk(grid::Array3D<double>& field,
+                                 const grid::LocalBox& box, int gj, int k);
+
+  void validate_fields(std::span<grid::Array3D<double>* const> fields) const;
+
+ private:
+  const comm::Mesh2D* mesh_;
+  const grid::Decomp2D* decomp_;
+  const FilterBank* bank_;
+  grid::LocalBox box_;
+};
+
+/// Factory. The returned filter keeps references to mesh/decomp/bank; they
+/// must outlive it.
+std::unique_ptr<PolarFilter> make_filter(FilterAlgorithm algorithm,
+                                         const comm::Mesh2D& mesh,
+                                         const grid::Decomp2D& decomp,
+                                         const FilterBank& bank);
+
+/// Gathers this node's ni-wide chunk of every line in `lines` order into one
+/// contiguous buffer (the layout the movement plans expect).
+std::vector<double> extract_chunks(
+    std::span<grid::Array3D<double>* const> fields, const grid::LocalBox& box,
+    std::span<const LineKey> lines);
+
+/// Inverse of extract_chunks.
+void write_chunks(std::span<grid::Array3D<double>* const> fields,
+                  const grid::LocalBox& box, std::span<const LineKey> lines,
+                  std::span<const double> chunks);
+
+}  // namespace agcm::filter

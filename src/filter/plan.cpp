@@ -1,0 +1,225 @@
+#include "filter/plan.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace agcm::filter {
+
+RowTransposePlan::RowTransposePlan(const comm::Mesh2D& mesh,
+                                   const grid::Decomp2D& decomp,
+                                   std::vector<LineKey> lines)
+    : lines_(std::move(lines)),
+      ncols_(mesh.cols()),
+      mycol_(mesh.coord().col),
+      nlon_(decomp.nlon()) {
+  col_width_.resize(static_cast<std::size_t>(ncols_));
+  col_start_.resize(static_cast<std::size_t>(ncols_));
+  for (int c = 0; c < ncols_; ++c) {
+    col_width_[static_cast<std::size_t>(c)] = decomp.lon_partition().size(c);
+    col_start_[static_cast<std::size_t>(c)] = decomp.lon_partition().start(c);
+  }
+  for (std::size_t q = 0; q < lines_.size(); ++q) {
+    if (owner_col(q) == mycol_) {
+      owned_.push_back(q);
+      owned_keys_.push_back(lines_[q]);
+    }
+  }
+}
+
+std::vector<double> RowTransposePlan::to_lines(
+    const comm::Mesh2D& mesh, std::span<const double> my_chunks) const {
+  const auto& row = mesh.row_comm();
+  auto& clock = row.context().clock();
+  const int ni = col_width_[static_cast<std::size_t>(mycol_)];
+  AGCM_ASSERT(my_chunks.size() == lines_.size() * static_cast<std::size_t>(ni));
+
+  // Send buffer grouped by destination column; round-robin ownership means
+  // dest order interleaves, so we must permute.
+  std::vector<int> send_counts(static_cast<std::size_t>(ncols_), 0);
+  std::vector<int> recv_counts(static_cast<std::size_t>(ncols_), 0);
+  for (std::size_t q = 0; q < lines_.size(); ++q)
+    send_counts[static_cast<std::size_t>(owner_col(q))] += ni;
+  for (int c = 0; c < ncols_; ++c)
+    recv_counts[static_cast<std::size_t>(c)] =
+        static_cast<int>(owned_.size()) * col_width_[static_cast<std::size_t>(c)];
+
+  std::vector<double> send_buf;
+  send_buf.reserve(my_chunks.size());
+  for (int d = 0; d < ncols_; ++d) {
+    for (std::size_t q = 0; q < lines_.size(); ++q) {
+      if (owner_col(q) != d) continue;
+      const auto off = q * static_cast<std::size_t>(ni);
+      send_buf.insert(send_buf.end(), my_chunks.begin() + static_cast<std::ptrdiff_t>(off),
+                      my_chunks.begin() + static_cast<std::ptrdiff_t>(off + static_cast<std::size_t>(ni)));
+    }
+  }
+  clock.memory_traffic(static_cast<double>(send_buf.size()) * sizeof(double));
+
+  const std::vector<double> recv_buf =
+      row.alltoallv<double>(send_buf, send_counts, recv_counts);
+
+  // Assemble whole lines: from source column c, my owned lines arrive in
+  // owned-order, each col_width_[c] wide, at global offset col_start_[c].
+  std::vector<double> full(owned_.size() * static_cast<std::size_t>(nlon_));
+  std::size_t src_off = 0;
+  for (int c = 0; c < ncols_; ++c) {
+    const auto w = static_cast<std::size_t>(col_width_[static_cast<std::size_t>(c)]);
+    const auto start = static_cast<std::size_t>(col_start_[static_cast<std::size_t>(c)]);
+    for (std::size_t p = 0; p < owned_.size(); ++p) {
+      std::copy(recv_buf.begin() + static_cast<std::ptrdiff_t>(src_off),
+                recv_buf.begin() + static_cast<std::ptrdiff_t>(src_off + w),
+                full.begin() + static_cast<std::ptrdiff_t>(
+                                   p * static_cast<std::size_t>(nlon_) + start));
+      src_off += w;
+    }
+  }
+  clock.memory_traffic(static_cast<double>(full.size()) * sizeof(double));
+  AGCM_ASSERT(src_off == recv_buf.size());
+  return full;
+}
+
+std::vector<double> RowTransposePlan::to_chunks(
+    const comm::Mesh2D& mesh, std::span<const double> full_lines) const {
+  const auto& row = mesh.row_comm();
+  auto& clock = row.context().clock();
+  const int ni = col_width_[static_cast<std::size_t>(mycol_)];
+  AGCM_ASSERT(full_lines.size() ==
+              owned_.size() * static_cast<std::size_t>(nlon_));
+
+  // Send each destination column its slice of every owned line.
+  std::vector<int> send_counts(static_cast<std::size_t>(ncols_), 0);
+  std::vector<int> recv_counts(static_cast<std::size_t>(ncols_), 0);
+  for (int c = 0; c < ncols_; ++c)
+    send_counts[static_cast<std::size_t>(c)] =
+        static_cast<int>(owned_.size()) * col_width_[static_cast<std::size_t>(c)];
+  for (std::size_t q = 0; q < lines_.size(); ++q)
+    recv_counts[static_cast<std::size_t>(owner_col(q))] += ni;
+
+  std::vector<double> send_buf;
+  send_buf.reserve(lines_.size() * static_cast<std::size_t>(ni));
+  for (int c = 0; c < ncols_; ++c) {
+    const auto w = static_cast<std::size_t>(col_width_[static_cast<std::size_t>(c)]);
+    const auto start = static_cast<std::size_t>(col_start_[static_cast<std::size_t>(c)]);
+    for (std::size_t p = 0; p < owned_.size(); ++p) {
+      const auto off = p * static_cast<std::size_t>(nlon_) + start;
+      send_buf.insert(send_buf.end(),
+                      full_lines.begin() + static_cast<std::ptrdiff_t>(off),
+                      full_lines.begin() + static_cast<std::ptrdiff_t>(off + w));
+    }
+  }
+  clock.memory_traffic(static_cast<double>(send_buf.size()) * sizeof(double));
+
+  const std::vector<double> recv_buf =
+      row.alltoallv<double>(send_buf, send_counts, recv_counts);
+
+  // recv_buf is grouped by owner column; within a group, lines appear in
+  // global line order. Permute back to lines_ order.
+  std::vector<std::size_t> group_pos(static_cast<std::size_t>(ncols_), 0);
+  std::vector<std::size_t> group_off(static_cast<std::size_t>(ncols_), 0);
+  {
+    std::size_t acc = 0;
+    for (int c = 0; c < ncols_; ++c) {
+      group_off[static_cast<std::size_t>(c)] = acc;
+      acc += static_cast<std::size_t>(recv_counts[static_cast<std::size_t>(c)]);
+    }
+  }
+  std::vector<double> chunks(lines_.size() * static_cast<std::size_t>(ni));
+  for (std::size_t q = 0; q < lines_.size(); ++q) {
+    const auto c = static_cast<std::size_t>(owner_col(q));
+    const std::size_t src = group_off[c] + group_pos[c];
+    std::copy(recv_buf.begin() + static_cast<std::ptrdiff_t>(src),
+              recv_buf.begin() + static_cast<std::ptrdiff_t>(src + static_cast<std::size_t>(ni)),
+              chunks.begin() + static_cast<std::ptrdiff_t>(q * static_cast<std::size_t>(ni)));
+    group_pos[c] += static_cast<std::size_t>(ni);
+  }
+  clock.memory_traffic(static_cast<double>(chunks.size()) * sizeof(double));
+  return chunks;
+}
+
+BalancedFilterPlan::BalancedFilterPlan(const comm::Mesh2D& mesh,
+                                       const grid::Decomp2D& decomp,
+                                       const FilterBank& bank) {
+  const int nrows = mesh.rows();
+  const int myrow = mesh.coord().row;
+  ni_ = decomp.box(mesh.coord()).ni;
+
+  // Global redistribution order: all filtered lines sorted by source row,
+  // ties broken by the bank's canonical (var, j, k) order. Sorting by
+  // source row makes each row's lines a contiguous block, so the monotone
+  // block assignment below preserves latitudinal locality (Figure 2: polar
+  // rows spill into their equatorward neighbours first).
+  struct Tagged {
+    LineKey key;
+    int src_row;
+    std::size_t bank_pos;
+  };
+  std::vector<Tagged> global;
+  global.reserve(bank.lines().size());
+  for (std::size_t pos = 0; pos < bank.lines().size(); ++pos) {
+    const LineKey& line = bank.lines()[pos];
+    global.push_back({line, decomp.lat_partition().owner(line.j), pos});
+  }
+  std::stable_sort(global.begin(), global.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     return a.src_row != b.src_row ? a.src_row < b.src_row
+                                                   : a.bank_pos < b.bank_pos;
+                   });
+
+  const std::size_t total = global.size();
+  auto dest_row = [&](std::size_t q) {
+    return static_cast<int>(q * static_cast<std::size_t>(nrows) / total);
+  };
+
+  send_lines_.assign(static_cast<std::size_t>(nrows), 0);
+  recv_lines_.assign(static_cast<std::size_t>(nrows), 0);
+  std::vector<int> held_per_row(static_cast<std::size_t>(nrows), 0);
+  for (std::size_t q = 0; q < total; ++q) {
+    const int src = global[q].src_row;
+    const int dst = dest_row(q);
+    ++held_per_row[static_cast<std::size_t>(dst)];
+    if (src == myrow) {
+      my_lines_.push_back(global[q].key);
+      ++send_lines_[static_cast<std::size_t>(dst)];
+    }
+    if (dst == myrow) {
+      held_lines_.push_back(global[q].key);
+      ++recv_lines_[static_cast<std::size_t>(src)];
+    }
+  }
+  const double ideal = static_cast<double>(total) / nrows;
+  post_balance_ratio_ =
+      ideal > 0.0
+          ? *std::max_element(held_per_row.begin(), held_per_row.end()) / ideal
+          : 1.0;
+
+  row_plan_ = RowTransposePlan(mesh, decomp, held_lines_);
+}
+
+std::vector<double> BalancedFilterPlan::redistribute(
+    const comm::Mesh2D& mesh, std::span<const double> my_chunks) const {
+  const auto& col = mesh.col_comm();
+  AGCM_ASSERT(my_chunks.size() ==
+              my_lines_.size() * static_cast<std::size_t>(ni_));
+  // my_lines_ is ordered by global q, and dest rows are monotone in q, so
+  // the chunk buffer is already grouped by destination: no permutation.
+  std::vector<int> send_counts, recv_counts;
+  send_counts.reserve(send_lines_.size());
+  recv_counts.reserve(recv_lines_.size());
+  for (int n : send_lines_) send_counts.push_back(n * ni_);
+  for (int n : recv_lines_) recv_counts.push_back(n * ni_);
+  return col.alltoallv<double>(my_chunks, send_counts, recv_counts);
+}
+
+std::vector<double> BalancedFilterPlan::restore(
+    const comm::Mesh2D& mesh, std::span<const double> held_chunks) const {
+  const auto& col = mesh.col_comm();
+  AGCM_ASSERT(held_chunks.size() ==
+              held_lines_.size() * static_cast<std::size_t>(ni_));
+  std::vector<int> send_counts, recv_counts;
+  for (int n : recv_lines_) send_counts.push_back(n * ni_);
+  for (int n : send_lines_) recv_counts.push_back(n * ni_);
+  return col.alltoallv<double>(held_chunks, send_counts, recv_counts);
+}
+
+}  // namespace agcm::filter

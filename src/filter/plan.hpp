@@ -1,0 +1,107 @@
+// Data-movement plans for the FFT filter variants.
+//
+// RowTransposePlan implements the Figure-3 movement: within one processor
+// row, chunks of the filtered lines are exchanged so that each node ends up
+// holding *whole* longitude circles (ready for a local FFT); the inverse
+// movement restores the original chunk layout.
+//
+// BalancedFilterPlan adds the Figure-2 movement in front: data rows are
+// first redistributed in the latitudinal direction so every processor row
+// holds approximately sum(R_j)/M lines (the paper's equation (3) applied
+// over mesh rows), regardless of how many rows each hemisphere filters.
+// Both plans are pure bookkeeping computed identically on every node from
+// global metadata — "the set-up involves substantial bookkeeping" (3.3).
+#pragma once
+
+#include <vector>
+
+#include "comm/mesh2d.hpp"
+#include "filter/bank.hpp"
+#include "grid/decomp.hpp"
+
+namespace agcm::filter {
+
+/// Chunk layout convention used throughout: a "chunk buffer" stores one
+/// fixed-width chunk per line, consecutively, in the plan's line order.
+class RowTransposePlan {
+ public:
+  RowTransposePlan() = default;
+
+  /// `lines` are the circles this processor row must filter; every node of
+  /// the row passes the identical list (asserted via its length).
+  RowTransposePlan(const comm::Mesh2D& mesh, const grid::Decomp2D& decomp,
+                   std::vector<LineKey> lines);
+
+  const std::vector<LineKey>& lines() const { return lines_; }
+
+  /// Keys of the whole lines this node assembles and filters, in the order
+  /// they appear in the buffer returned by to_lines().
+  const std::vector<LineKey>& owned_lines() const { return owned_keys_; }
+
+  /// Forward transpose: `my_chunks` holds my ni-wide chunk of every line in
+  /// lines() order; returns whole lines (nlon doubles each) for the lines
+  /// this node owns. Collective over the row.
+  std::vector<double> to_lines(const comm::Mesh2D& mesh,
+                               std::span<const double> my_chunks) const;
+
+  /// Inverse transpose: takes the filtered whole lines (owned_lines()
+  /// order) and returns my chunks of every line in lines() order.
+  std::vector<double> to_chunks(const comm::Mesh2D& mesh,
+                                std::span<const double> full_lines) const;
+
+ private:
+  int owner_col(std::size_t q) const {
+    return static_cast<int>(q % static_cast<std::size_t>(ncols_));
+  }
+
+  std::vector<LineKey> lines_;
+  std::vector<LineKey> owned_keys_;
+  std::vector<std::size_t> owned_;  ///< indices into lines_ that I own
+  std::vector<int> col_width_;      ///< ni of each mesh column
+  std::vector<int> col_start_;      ///< i0 of each mesh column
+  int ncols_ = 0;
+  int mycol_ = 0;
+  int nlon_ = 0;
+};
+
+/// The full Figure-2 + Figure-3 plan used by FftBalancedFilter.
+class BalancedFilterPlan {
+ public:
+  BalancedFilterPlan() = default;
+  BalancedFilterPlan(const comm::Mesh2D& mesh, const grid::Decomp2D& decomp,
+                     const FilterBank& bank);
+
+  /// Lines whose latitude row lies in my band, in redistribution order
+  /// (callers must extract chunks in exactly this order).
+  const std::vector<LineKey>& my_lines() const { return my_lines_; }
+
+  /// Lines this node's row holds after the latitudinal redistribution.
+  const std::vector<LineKey>& held_lines() const { return held_lines_; }
+
+  /// Stage-B transpose over held_lines().
+  const RowTransposePlan& row_plan() const { return row_plan_; }
+
+  /// Stage A: redistribute chunks along the mesh column. Input in
+  /// my_lines() order, output in held_lines() order. Collective over the
+  /// mesh column.
+  std::vector<double> redistribute(const comm::Mesh2D& mesh,
+                                   std::span<const double> my_chunks) const;
+
+  /// Inverse of redistribute().
+  std::vector<double> restore(const comm::Mesh2D& mesh,
+                              std::span<const double> held_chunks) const;
+
+  /// Max over rows of (lines held) / ideal — 1.0 means perfectly balanced.
+  double post_balance_ratio() const { return post_balance_ratio_; }
+
+ private:
+  std::vector<LineKey> my_lines_;
+  std::vector<LineKey> held_lines_;
+  std::vector<int> send_lines_;  ///< per dest row, lines I send
+  std::vector<int> recv_lines_;  ///< per src row, lines I receive
+  RowTransposePlan row_plan_;
+  int ni_ = 0;  ///< my chunk width (identical within a mesh column)
+  double post_balance_ratio_ = 1.0;
+};
+
+}  // namespace agcm::filter

@@ -1,0 +1,53 @@
+#include "filter/response.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace agcm::filter {
+
+double cutoff_deg(FilterKind kind) {
+  return kind == FilterKind::kStrong ? 45.0 : 60.0;
+}
+
+double response(FilterKind kind, int wavenumber, int n, double lat_rad) {
+  AGCM_ASSERT(n >= 2);
+  AGCM_ASSERT(wavenumber >= 0 && wavenumber < n);
+  const double cutoff_rad = cutoff_deg(kind) * std::numbers::pi / 180.0;
+  const double abs_lat = std::abs(lat_rad);
+  if (abs_lat < cutoff_rad) return 1.0;
+  const int s = std::min(wavenumber, n - wavenumber);
+  if (s == 0) return 1.0;  // never touch the zonal mean
+  const double growth =
+      std::sin(std::numbers::pi * s / n) / std::sin(std::numbers::pi / n);
+  const double ratio = std::cos(abs_lat) / std::cos(cutoff_rad);
+  double s_val = std::clamp(ratio / growth, 0.0, 1.0);
+  if (kind == FilterKind::kWeak) s_val = std::sqrt(s_val);
+  return s_val;
+}
+
+std::vector<double> response_line(FilterKind kind, int n, double lat_rad) {
+  std::vector<double> line(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s)
+    line[static_cast<std::size_t>(s)] = response(kind, s, n, lat_rad);
+  return line;
+}
+
+std::vector<double> kernel_from_response(std::span<const double> s_line) {
+  const auto n = static_cast<int>(s_line.size());
+  std::vector<double> kernel(s_line.size(), 0.0);
+  // Real inverse DFT of a real, even (conjugate-symmetric) sequence.
+  for (int i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (int s = 0; s < n; ++s) {
+      acc += s_line[static_cast<std::size_t>(s)] *
+             std::cos(2.0 * std::numbers::pi * s * i / n);
+    }
+    kernel[static_cast<std::size_t>(i)] = acc / n;
+  }
+  return kernel;
+}
+
+}  // namespace agcm::filter

@@ -1,0 +1,46 @@
+// The AGCM polar filter response function S(s, phi).
+//
+// From the paper (Section 3.1): the filter is "a set of discrete Fourier
+// filters specifically designed to damp fast-moving inertia-gravity waves
+// near the poles", applied as f' = IDFT( S(s, phi) * DFT(f) ) over complete
+// longitude circles. S depends on zonal wavenumber s and latitude phi but
+// not on time or height. Two variants exist:
+//   * strong filtering — applied poleward of 45 deg (about half of each
+//     hemisphere's latitudes) to one set of variables,
+//   * weak filtering   — applied poleward of 60 deg (about one third) to
+//     another set.
+//
+// The exact UCLA coefficients are not given in the paper; we use the
+// classical Arakawa-Lamb-style response
+//     S(s, phi) = min(1, (cos phi / cos phi_c) / (sin(pi s'/N) / sin(pi/N)))
+// with s' = min(s, N - s), which damps exactly the modes that violate the
+// CFL condition as the zonal grid spacing shrinks toward the poles. The
+// weak variant takes the square root (milder damping). Any S in [0,1] with
+// S(0)=1 reproduces the paper's computational behaviour identically.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace agcm::filter {
+
+enum class FilterKind { kStrong, kWeak };
+
+/// Latitude cutoff (degrees) poleward of which the filter applies.
+double cutoff_deg(FilterKind kind);
+
+/// S(s, phi) for zonal wavenumber s in [0, n) on a circle of n points.
+/// Returns 1 for latitudes equatorward of the cutoff.
+double response(FilterKind kind, int wavenumber, int n, double lat_rad);
+
+/// The whole response line S(0..n-1, phi); conjugate-symmetric
+/// (S[s] == S[n-s]) so filtering keeps real signals real.
+std::vector<double> response_line(FilterKind kind, int n, double lat_rad);
+
+/// Physical-space convolution kernel equivalent to `response_line` — the
+/// real inverse DFT of S. Filtering by circular convolution with this
+/// kernel is mathematically identical to wavenumber-space multiplication
+/// (the paper's equations (1) <-> (2)).
+std::vector<double> kernel_from_response(std::span<const double> s_line);
+
+}  // namespace agcm::filter

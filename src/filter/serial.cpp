@@ -1,0 +1,92 @@
+#include "filter/serial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace agcm::filter {
+
+void filter_line_fft(const fft::FftPlan& plan, std::span<double> line,
+                     std::span<const double> s_line) {
+  AGCM_ASSERT(line.size() == s_line.size());
+  AGCM_ASSERT(static_cast<int>(line.size()) == plan.size());
+  auto spectrum = plan.forward_real(line);
+  for (std::size_t s = 0; s < s_line.size(); ++s) spectrum[s] *= s_line[s];
+  plan.inverse_to_real(spectrum, line);
+}
+
+void filter_line_pair_fft(const fft::FftPlan& plan, std::span<double> line_a,
+                          std::span<double> line_b,
+                          std::span<const double> s_a,
+                          std::span<const double> s_b) {
+  const auto n = static_cast<std::size_t>(plan.size());
+  AGCM_ASSERT(line_a.size() == n && line_b.size() == n);
+  AGCM_ASSERT(s_a.size() == n && s_b.size() == n);
+  std::vector<fft::Complex> sa(n), sb(n);
+  plan.forward_real_pair(line_a, line_b, sa, sb);
+  for (std::size_t s = 0; s < n; ++s) {
+    sa[s] *= s_a[s];
+    sb[s] *= s_b[s];
+  }
+  plan.inverse_to_real_pair(sa, sb, line_a, line_b);
+}
+
+void filter_line_convolution(std::span<double> line,
+                             std::span<const double> kernel) {
+  AGCM_ASSERT(line.size() == kernel.size());
+  const auto n = static_cast<int>(line.size());
+  std::vector<double> out(line.size(), 0.0);
+  filter_chunk_convolution(line, kernel, 0, n, out);
+  std::copy(out.begin(), out.end(), line.begin());
+}
+
+void filter_chunk_convolution(std::span<const double> line,
+                              std::span<const double> kernel, int out_begin,
+                              int out_count, std::span<double> out) {
+  AGCM_ASSERT(line.size() == kernel.size());
+  AGCM_ASSERT(static_cast<int>(out.size()) == out_count);
+  const auto n = static_cast<int>(line.size());
+  for (int c = 0; c < out_count; ++c) {
+    const int i = out_begin + c;
+    double acc = 0.0;
+    for (int s = 0; s < n; ++s) {
+      int idx = i - s;
+      if (idx < 0) idx += n;
+      acc += kernel[static_cast<std::size_t>(s)] *
+             line[static_cast<std::size_t>(idx)];
+    }
+    out[static_cast<std::size_t>(c)] = acc;
+  }
+}
+
+double fft_filter_flops(int n) {
+  // forward + inverse real transforms (~5 n log2 n each at the accounting
+  // level used throughout) plus the spectral multiply.
+  const double nn = n;
+  return 2.0 * 5.0 * nn * std::log2(std::max(2.0, nn)) + 2.0 * nn;
+}
+
+// Convolution cost accounting: the paper's equation (2) sums only
+// M = N/2 wavenumber terms per output point (the kernel's half-spectrum
+// form), i.e. ~N^2 flops per line rather than the 2N^2 of a full-circle
+// multiply-add sum. The implementation here computes the exact full-circle
+// equivalent for bit-comparable results, but the virtual clock charges the
+// original formulation's arithmetic.
+double fft_filter_pair_flops(int n) {
+  // One forward + one inverse complex transform covers both lines; add the
+  // split/merge passes and the two spectral multiplies.
+  const double nn = n;
+  return 2.0 * 5.0 * nn * std::log2(std::max(2.0, nn)) + 8.0 * nn;
+}
+
+double convolution_filter_flops(int n) {
+  return static_cast<double>(n) * n + 4.0 * n;
+}
+
+double convolution_chunk_flops(int n, int out_count) {
+  return static_cast<double>(n) * out_count + 2.0 * out_count;
+}
+
+}  // namespace agcm::filter

@@ -1,0 +1,43 @@
+// Serial (single-line) filtering primitives. These are the computational
+// kernels all four parallel variants share; the serial versions also serve
+// as the correctness oracle for the parallel module tests.
+#pragma once
+
+#include <span>
+
+#include "fft/fft.hpp"
+
+namespace agcm::filter {
+
+/// Filters one longitude circle in place by wavenumber-space multiplication:
+/// line <- IDFT( S .* DFT(line) ). `s_line` must have the line's length.
+void filter_line_fft(const fft::FftPlan& plan, std::span<double> line,
+                     std::span<const double> s_line);
+
+/// Filters two lines with a single complex transform each way (the
+/// two-for-one real-FFT trick); each line gets its own response. Halves
+/// the transform work relative to two filter_line_fft calls.
+void filter_line_pair_fft(const fft::FftPlan& plan, std::span<double> line_a,
+                          std::span<double> line_b,
+                          std::span<const double> s_a,
+                          std::span<const double> s_b);
+
+/// Filters one longitude circle in place by direct circular convolution with
+/// `kernel` (the paper's original formulation, equation (2)).
+void filter_line_convolution(std::span<double> line,
+                             std::span<const double> kernel);
+
+/// Convolution restricted to output indices [out_begin, out_begin+out_count)
+/// of the circle; used by the parallel ring variant, where each node only
+/// produces its own chunk of the filtered line. `line` is the full circle.
+void filter_chunk_convolution(std::span<const double> line,
+                              std::span<const double> kernel, int out_begin,
+                              int out_count, std::span<double> out);
+
+/// Virtual-clock flop counts for the kernels above.
+double fft_filter_flops(int n);
+double fft_filter_pair_flops(int n);  ///< two lines, one transform each way
+double convolution_filter_flops(int n);               ///< full line
+double convolution_chunk_flops(int n, int out_count); ///< chunk of a line
+
+}  // namespace agcm::filter

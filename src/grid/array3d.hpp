@@ -1,0 +1,112 @@
+// Dense 3-D array with optional ghost (halo) cells in the two horizontal
+// dimensions. Storage order matches the Fortran AGCM: the longitude index i
+// is fastest, then latitude j, then layer k — so one "data row" (a full
+// latitude circle at fixed j,k) is contiguous, which is what the spectral
+// filter wants.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace agcm::grid {
+
+template <typename T>
+class Array3D {
+ public:
+  Array3D() = default;
+
+  /// `ni x nj x nk` interior cells with `ghost` extra cells on each side of
+  /// the i and j dimensions (k never has ghosts: vertical columns are local).
+  Array3D(int ni, int nj, int nk, int ghost = 0)
+      : ni_(ni), nj_(nj), nk_(nk), ghost_(ghost),
+        stride_i_(1),
+        stride_j_(static_cast<std::size_t>(ni + 2 * ghost)),
+        stride_k_(static_cast<std::size_t>(ni + 2 * ghost) *
+                  static_cast<std::size_t>(nj + 2 * ghost)),
+        data_(stride_k_ * static_cast<std::size_t>(nk), T{}) {
+    AGCM_ASSERT(ni > 0 && nj > 0 && nk > 0 && ghost >= 0);
+  }
+
+  int ni() const { return ni_; }
+  int nj() const { return nj_; }
+  int nk() const { return nk_; }
+  int ghost() const { return ghost_; }
+
+  /// Interior cell count.
+  std::size_t interior_size() const {
+    return static_cast<std::size_t>(ni_) * static_cast<std::size_t>(nj_) *
+           static_cast<std::size_t>(nk_);
+  }
+
+  /// Valid index ranges: i in [-ghost, ni+ghost), j likewise, k in [0, nk).
+  T& at(int i, int j, int k) { return data_[offset(i, j, k)]; }
+  const T& at(int i, int j, int k) const { return data_[offset(i, j, k)]; }
+
+  T& operator()(int i, int j, int k) { return at(i, j, k); }
+  const T& operator()(int i, int j, int k) const { return at(i, j, k); }
+
+  /// Raw storage including ghosts (for I/O and whole-array operations).
+  std::span<T> raw() { return data_; }
+  std::span<const T> raw() const { return data_; }
+
+  /// Contiguous interior row at fixed (j, k): cells (0..ni-1, j, k).
+  std::span<T> row(int j, int k) {
+    return {data_.data() + offset(0, j, k), static_cast<std::size_t>(ni_)};
+  }
+  std::span<const T> row(int j, int k) const {
+    return {data_.data() + offset(0, j, k), static_cast<std::size_t>(ni_)};
+  }
+
+  void fill(const T& value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Copies interior cells (ghosts excluded) into a packed vector,
+  /// i-fastest order.
+  std::vector<T> pack_interior() const {
+    std::vector<T> out;
+    out.reserve(interior_size());
+    for (int k = 0; k < nk_; ++k)
+      for (int j = 0; j < nj_; ++j) {
+        const auto r = row(j, k);
+        out.insert(out.end(), r.begin(), r.end());
+      }
+    return out;
+  }
+
+  /// Inverse of pack_interior.
+  void unpack_interior(std::span<const T> packed) {
+    AGCM_ASSERT(packed.size() == interior_size());
+    std::size_t pos = 0;
+    for (int k = 0; k < nk_; ++k)
+      for (int j = 0; j < nj_; ++j) {
+        auto r = row(j, k);
+        std::copy(packed.begin() + static_cast<std::ptrdiff_t>(pos),
+                  packed.begin() + static_cast<std::ptrdiff_t>(pos + r.size()),
+                  r.begin());
+        pos += r.size();
+      }
+  }
+
+  bool same_shape(const Array3D& other) const {
+    return ni_ == other.ni_ && nj_ == other.nj_ && nk_ == other.nk_ &&
+           ghost_ == other.ghost_;
+  }
+
+ private:
+  std::size_t offset(int i, int j, int k) const {
+    AGCM_DBG_ASSERT(i >= -ghost_ && i < ni_ + ghost_);
+    AGCM_DBG_ASSERT(j >= -ghost_ && j < nj_ + ghost_);
+    AGCM_DBG_ASSERT(k >= 0 && k < nk_);
+    return static_cast<std::size_t>(i + ghost_) * stride_i_ +
+           static_cast<std::size_t>(j + ghost_) * stride_j_ +
+           static_cast<std::size_t>(k) * stride_k_;
+  }
+
+  int ni_ = 0, nj_ = 0, nk_ = 0, ghost_ = 0;
+  std::size_t stride_i_ = 1, stride_j_ = 0, stride_k_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace agcm::grid

@@ -1,0 +1,52 @@
+#include "grid/decomp.hpp"
+
+#include "util/error.hpp"
+
+namespace agcm::grid {
+
+Partition1D::Partition1D(int n, int p) : n_(n), p_(p) {
+  check_config(n > 0 && p > 0, "partition requires n > 0 and p > 0");
+  check_config(p <= n, "more blocks than points: p=" + std::to_string(p) +
+                           " n=" + std::to_string(n));
+}
+
+int Partition1D::start(int block) const {
+  AGCM_ASSERT(block >= 0 && block <= p_);
+  const int base = n_ / p_;
+  const int rem = n_ % p_;
+  return block * base + std::min(block, rem);
+}
+
+int Partition1D::size(int block) const {
+  AGCM_ASSERT(block >= 0 && block < p_);
+  const int base = n_ / p_;
+  const int rem = n_ % p_;
+  return base + (block < rem ? 1 : 0);
+}
+
+int Partition1D::owner(int g) const {
+  AGCM_ASSERT(g >= 0 && g < n_);
+  const int base = n_ / p_;
+  const int rem = n_ % p_;
+  const int big = (base + 1) * rem;  // points covered by the larger blocks
+  if (g < big) return g / (base + 1);
+  return rem + (g - big) / base;
+}
+
+Decomp2D::Decomp2D(int nlon, int nlat, int mesh_rows, int mesh_cols)
+    : lon_(nlon, mesh_cols), lat_(nlat, mesh_rows) {}
+
+LocalBox Decomp2D::box(comm::MeshCoord coord) const {
+  LocalBox b;
+  b.i0 = lon_.start(coord.col);
+  b.ni = lon_.size(coord.col);
+  b.j0 = lat_.start(coord.row);
+  b.nj = lat_.size(coord.row);
+  return b;
+}
+
+comm::MeshCoord Decomp2D::owner(int gi, int gj) const {
+  return {lat_.owner(gj), lon_.owner(gi)};
+}
+
+}  // namespace agcm::grid

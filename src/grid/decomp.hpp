@@ -1,0 +1,60 @@
+// Block domain decomposition of the horizontal grid over the 2-D process
+// mesh. Handles uneven divisions (the paper's 8 x 30 mesh over 144
+// longitudes gives blocks of 4 and 5 columns).
+#pragma once
+
+#include <vector>
+
+#include "comm/mesh2d.hpp"
+
+namespace agcm::grid {
+
+/// 1-D block partition of `n` points over `p` blocks; the first `n % p`
+/// blocks get one extra point.
+class Partition1D {
+ public:
+  Partition1D(int n, int p);
+
+  int n() const { return n_; }
+  int blocks() const { return p_; }
+  int start(int block) const;
+  int size(int block) const;
+  int end(int block) const { return start(block) + size(block); }
+  /// Which block owns global index g.
+  int owner(int g) const;
+
+ private:
+  int n_, p_;
+};
+
+/// The local box of one node: global offsets and extents in lon (i) and
+/// lat (j). All vertical layers are local (2-D decomposition).
+struct LocalBox {
+  int i0 = 0;  ///< global longitude index of local i = 0
+  int ni = 0;
+  int j0 = 0;  ///< global latitude index of local j = 0
+  int nj = 0;
+};
+
+/// 2-D decomposition binding a grid to a process mesh.
+class Decomp2D {
+ public:
+  /// mesh rows partition latitudes, mesh cols partition longitudes.
+  Decomp2D(int nlon, int nlat, int mesh_rows, int mesh_cols);
+
+  const Partition1D& lon_partition() const { return lon_; }
+  const Partition1D& lat_partition() const { return lat_; }
+
+  LocalBox box(comm::MeshCoord coord) const;
+  /// Mesh coordinate that owns global point (i, j).
+  comm::MeshCoord owner(int gi, int gj) const;
+
+  int nlon() const { return lon_.n(); }
+  int nlat() const { return lat_.n(); }
+
+ private:
+  Partition1D lon_;
+  Partition1D lat_;
+};
+
+}  // namespace agcm::grid

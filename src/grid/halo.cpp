@@ -1,0 +1,136 @@
+#include "grid/halo.hpp"
+
+#include <vector>
+
+namespace agcm::grid {
+
+namespace {
+
+constexpr int kTagEast = 201;   // data travelling eastward
+constexpr int kTagWest = 202;   // data travelling westward
+constexpr int kTagNorth = 203;  // data travelling northward
+constexpr int kTagSouth = 204;  // data travelling southward
+
+/// Packs the i-columns [i_begin, i_begin+width) over j in [0, nj), all k.
+std::vector<double> pack_i_strip(const Array3D<double>& a, int i_begin,
+                                 int width) {
+  std::vector<double> buf;
+  buf.reserve(static_cast<std::size_t>(width) *
+              static_cast<std::size_t>(a.nj()) *
+              static_cast<std::size_t>(a.nk()));
+  for (int k = 0; k < a.nk(); ++k)
+    for (int j = 0; j < a.nj(); ++j)
+      for (int di = 0; di < width; ++di) buf.push_back(a.at(i_begin + di, j, k));
+  return buf;
+}
+
+void unpack_i_strip(Array3D<double>& a, int i_begin, int width,
+                    std::span<const double> buf) {
+  std::size_t pos = 0;
+  for (int k = 0; k < a.nk(); ++k)
+    for (int j = 0; j < a.nj(); ++j)
+      for (int di = 0; di < width; ++di) a.at(i_begin + di, j, k) = buf[pos++];
+}
+
+/// Packs j-rows [j_begin, j_begin+width) spanning i in [-g, ni+g), all k.
+std::vector<double> pack_j_strip(const Array3D<double>& a, int j_begin,
+                                 int width, int g) {
+  std::vector<double> buf;
+  buf.reserve(static_cast<std::size_t>(width) *
+              static_cast<std::size_t>(a.ni() + 2 * g) *
+              static_cast<std::size_t>(a.nk()));
+  for (int k = 0; k < a.nk(); ++k)
+    for (int dj = 0; dj < width; ++dj)
+      for (int i = -g; i < a.ni() + g; ++i)
+        buf.push_back(a.at(i, j_begin + dj, k));
+  return buf;
+}
+
+void unpack_j_strip(Array3D<double>& a, int j_begin, int width, int g,
+                    std::span<const double> buf) {
+  std::size_t pos = 0;
+  for (int k = 0; k < a.nk(); ++k)
+    for (int dj = 0; dj < width; ++dj)
+      for (int i = -g; i < a.ni() + g; ++i)
+        a.at(i, j_begin + dj, k) = buf[pos++];
+}
+
+}  // namespace
+
+void exchange_halo(const comm::Mesh2D& mesh, Array3D<double>& field,
+                   int width) {
+  const int g = width < 0 ? field.ghost() : width;
+  check_config(g >= 1 && g <= field.ghost(),
+               "halo width must be in [1, ghost]");
+  const comm::Communicator& world = mesh.world();
+  auto& clock = world.context().clock();
+
+  // Phase 1: east/west (longitude), periodic.
+  if (mesh.cols() == 1) {
+    // Periodic wrap is entirely local.
+    for (int k = 0; k < field.nk(); ++k)
+      for (int j = 0; j < field.nj(); ++j)
+        for (int di = 0; di < g; ++di) {
+          field.at(-g + di, j, k) = field.at(field.ni() - g + di, j, k);
+          field.at(field.ni() + di, j, k) = field.at(di, j, k);
+        }
+    clock.memory_traffic(
+        static_cast<double>(2 * g * field.nj() * field.nk()) * sizeof(double));
+  } else {
+    // Send my east edge eastward; it becomes the east neighbour's west
+    // ghost. Symmetrically westward.
+    const auto east_edge = pack_i_strip(field, field.ni() - g, g);
+    const auto west_edge = pack_i_strip(field, 0, g);
+    clock.memory_traffic(static_cast<double>(east_edge.size() +
+                                             west_edge.size()) *
+                         sizeof(double));
+    world.send<double>(mesh.east(), kTagEast, east_edge);
+    world.send<double>(mesh.west(), kTagWest, west_edge);
+    std::vector<double> from_west(east_edge.size());
+    std::vector<double> from_east(west_edge.size());
+    world.recv<double>(mesh.west(), kTagEast, from_west);
+    world.recv<double>(mesh.east(), kTagWest, from_east);
+    unpack_i_strip(field, -g, g, from_west);
+    unpack_i_strip(field, field.ni(), g, from_east);
+    clock.memory_traffic(static_cast<double>(from_west.size() +
+                                             from_east.size()) *
+                         sizeof(double));
+  }
+
+  // Phase 2: north/south (latitude), non-periodic. Rows run south->north.
+  const auto north = mesh.north();
+  const auto south = mesh.south();
+  std::vector<double> to_north, to_south;
+  if (north) {
+    to_north = pack_j_strip(field, field.nj() - g, g, g);
+    clock.memory_traffic(static_cast<double>(to_north.size()) * sizeof(double));
+    world.send<double>(*north, kTagNorth, to_north);
+  }
+  if (south) {
+    to_south = pack_j_strip(field, 0, g, g);
+    clock.memory_traffic(static_cast<double>(to_south.size()) * sizeof(double));
+    world.send<double>(*south, kTagSouth, to_south);
+  }
+  if (south) {
+    std::vector<double> from_south(
+        static_cast<std::size_t>(g) *
+        static_cast<std::size_t>(field.ni() + 2 * g) *
+        static_cast<std::size_t>(field.nk()));
+    world.recv<double>(*south, kTagNorth, from_south);
+    unpack_j_strip(field, -g, g, g, from_south);
+    clock.memory_traffic(static_cast<double>(from_south.size()) *
+                         sizeof(double));
+  }
+  if (north) {
+    std::vector<double> from_north(
+        static_cast<std::size_t>(g) *
+        static_cast<std::size_t>(field.ni() + 2 * g) *
+        static_cast<std::size_t>(field.nk()));
+    world.recv<double>(*north, kTagSouth, from_north);
+    unpack_j_strip(field, field.nj(), g, g, from_north);
+    clock.memory_traffic(static_cast<double>(from_north.size()) *
+                         sizeof(double));
+  }
+}
+
+}  // namespace agcm::grid

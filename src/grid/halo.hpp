@@ -1,0 +1,25 @@
+// Ghost-point (halo) exchange for 2-D decomposed 3-D fields.
+//
+// This is one of the paper's "reusable GCM template modules" (Section 5):
+// exchange of ghost-point values at domain-partition boundaries, with the
+// physical periodic boundary condition in longitude enforced automatically
+// (including the single-column-of-processors case, where the wrap is a
+// local copy rather than a message).
+#pragma once
+
+#include "comm/mesh2d.hpp"
+#include "grid/array3d.hpp"
+
+namespace agcm::grid {
+
+/// Exchanges `width` ghost cells (default: the array's full ghost width) on
+/// all four sides of the local block. Longitude wraps periodically; at the
+/// north/south domain edges (the poles) ghost rows are left untouched —
+/// the dynamical core applies its own polar condition there.
+///
+/// Collective over the mesh. Corners are filled correctly (two-phase
+/// exchange: east/west first, then north/south including the i-ghosts).
+void exchange_halo(const comm::Mesh2D& mesh, Array3D<double>& field,
+                   int width = -1);
+
+}  // namespace agcm::grid

@@ -1,0 +1,58 @@
+#include "grid/latlon.hpp"
+
+#include "util/error.hpp"
+
+namespace agcm::grid {
+
+LatLonGrid::LatLonGrid(int nlon, int nlat, int nlev, Planet planet)
+    : nlon_(nlon), nlat_(nlat), nlev_(nlev), planet_(planet) {
+  check_config(nlon >= 4, "nlon must be >= 4");
+  check_config(nlat >= 2, "nlat must be >= 2");
+  check_config(nlev >= 1, "nlev must be >= 1");
+  dlon_ = 2.0 * std::numbers::pi / nlon_;
+  dlat_ = std::numbers::pi / nlat_;
+  cos_center_.resize(static_cast<std::size_t>(nlat_));
+  cos_vface_.resize(static_cast<std::size_t>(nlat_) + 1);
+  for (int j = 0; j < nlat_; ++j)
+    cos_center_[static_cast<std::size_t>(j)] = std::cos(lat_center(j));
+  for (int j = 0; j <= nlat_; ++j)
+    cos_vface_[static_cast<std::size_t>(j)] = std::cos(lat_vface(j));
+  // The outermost v-faces sit exactly at the poles; clamp cosine to zero so
+  // polar fluxes vanish identically.
+  cos_vface_.front() = 0.0;
+  cos_vface_.back() = 0.0;
+}
+
+double LatLonGrid::lat_center(int j) const {
+  AGCM_DBG_ASSERT(j >= 0 && j < nlat_);
+  return -0.5 * std::numbers::pi + (j + 0.5) * dlat_;
+}
+
+double LatLonGrid::lat_vface(int j) const {
+  AGCM_DBG_ASSERT(j >= 0 && j <= nlat_);
+  return -0.5 * std::numbers::pi + j * dlat_;
+}
+
+double LatLonGrid::lon_center(int i) const {
+  AGCM_DBG_ASSERT(i >= 0 && i < nlon_);
+  return i * dlon_;
+}
+
+double LatLonGrid::dx_m(int j) const {
+  return planet_.radius_m * dlon_ * cos_center(j);
+}
+
+double LatLonGrid::dy_m() const { return planet_.radius_m * dlat_; }
+
+double LatLonGrid::cell_area_m2(int j) const {
+  const double r = planet_.radius_m;
+  return r * r * dlon_ *
+         (std::sin(lat_vface(j + 1)) - std::sin(lat_vface(j)));
+}
+
+bool LatLonGrid::poleward_of(int j, double cutoff_deg) const {
+  const double lat_deg = lat_center(j) * 180.0 / std::numbers::pi;
+  return std::abs(lat_deg) >= cutoff_deg;
+}
+
+}  // namespace agcm::grid

@@ -1,0 +1,72 @@
+// Spherical latitude-longitude grid geometry with Arakawa C staggering.
+//
+// The UCLA AGCM uses a uniform longitude-latitude grid; the paper's runs use
+// the 2 x 2.5 degree horizontal resolution (144 longitudes x 90 latitudes)
+// with 9 or 15 vertical layers. On the Arakawa C-mesh, thermodynamic
+// variables sit at cell centres, u on east/west faces, v on north/south
+// faces.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace agcm::grid {
+
+/// Earth constants used by the dynamical core.
+struct Planet {
+  double radius_m = 6.371e6;        ///< mean Earth radius
+  double omega = 7.292e-5;          ///< rotation rate (rad/s)
+  double gravity = 9.80616;         ///< m/s^2
+};
+
+class LatLonGrid {
+ public:
+  /// `nlon` uniform longitudes (periodic), `nlat` latitude rows of cell
+  /// centres from south to north (no points exactly at the poles), `nlev`
+  /// vertical layers.
+  LatLonGrid(int nlon, int nlat, int nlev, Planet planet = {});
+
+  /// The paper's standard configurations.
+  static LatLonGrid paper_9layer() { return {144, 90, 9}; }
+  static LatLonGrid paper_15layer() { return {144, 90, 15}; }
+
+  int nlon() const { return nlon_; }
+  int nlat() const { return nlat_; }
+  int nlev() const { return nlev_; }
+  const Planet& planet() const { return planet_; }
+
+  double dlon_rad() const { return dlon_; }
+  double dlat_rad() const { return dlat_; }
+
+  /// Latitude of cell-centre row j (radians), j in [0, nlat): south to north.
+  double lat_center(int j) const;
+  /// Latitude of the v-face between rows j-1 and j, j in [0, nlat].
+  double lat_vface(int j) const;
+  /// Longitude of cell-centre column i (radians), i in [0, nlon).
+  double lon_center(int i) const;
+
+  double cos_center(int j) const { return cos_center_[static_cast<std::size_t>(j)]; }
+  double cos_vface(int j) const { return cos_vface_[static_cast<std::size_t>(j)]; }
+
+  /// Zonal grid spacing (metres) along row j; shrinks toward the poles —
+  /// the reason the polar filter exists.
+  double dx_m(int j) const;
+  /// Meridional grid spacing (metres), uniform.
+  double dy_m() const;
+
+  /// Cell area (m^2) for centre row j.
+  double cell_area_m2(int j) const;
+
+  /// True if |latitude of row j| >= cutoff_deg (the filter bands).
+  bool poleward_of(int j, double cutoff_deg) const;
+
+ private:
+  int nlon_, nlat_, nlev_;
+  Planet planet_;
+  double dlon_, dlat_;
+  std::vector<double> cos_center_;
+  std::vector<double> cos_vface_;
+};
+
+}  // namespace agcm::grid

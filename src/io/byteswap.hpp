@@ -1,0 +1,43 @@
+// Byte-order reversal.
+//
+// "Since the UCLA AGCM code uses a NETCDF input history file and we do not
+// have a NETCDF library available on the Paragon, we had to develop a
+// byte-order reversal routine to convert the history data" (Section 4).
+// The history format in history.hpp stores an endianness marker and the
+// reader transparently swaps when the file was written on the other kind
+// of machine — this module is that routine.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+namespace agcm::io {
+
+/// Reverses the bytes of one trivially-copyable value.
+template <typename T>
+T byteswap_value(T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  unsigned char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  for (std::size_t i = 0; i < sizeof(T) / 2; ++i)
+    std::swap(bytes[i], bytes[sizeof(T) - 1 - i]);
+  T out;
+  std::memcpy(&out, bytes, sizeof(T));
+  return out;
+}
+
+/// In-place byte reversal of every element.
+template <typename T>
+void byteswap_span(std::span<T> data) {
+  for (T& v : data) v = byteswap_value(v);
+}
+
+/// 1 on big-endian hosts, 0 on little-endian.
+inline std::uint8_t host_endianness_marker() {
+  return std::endian::native == std::endian::big ? 1 : 0;
+}
+
+}  // namespace agcm::io

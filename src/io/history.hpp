@@ -1,0 +1,59 @@
+// History (restart) files — the NetCDF-substitute format.
+//
+// Self-describing binary layout:
+//   magic "AGCMHIST" | format version (u32) | endianness marker (u8)
+//   | nlon nlat nlev (i32) | time_sec (f64) | step (i64) | nfields (u32)
+//   | per field: name length (u32), name bytes, nlon*nlat*nlev f64 values
+//     (global field, i fastest, then j, then k)
+// All multi-byte values use the *writer's* byte order; the reader detects a
+// foreign marker and routes everything through the byte-order reversal
+// module, exercising the paper's Paragon workaround.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/mesh2d.hpp"
+#include "dynamics/state.hpp"
+
+namespace agcm::io {
+
+struct HistoryField {
+  std::string name;
+  std::vector<double> values;  ///< nlon*nlat*nlev, i fastest
+};
+
+struct HistoryFile {
+  int nlon = 0, nlat = 0, nlev = 0;
+  double time_sec = 0.0;
+  std::int64_t step = 0;
+  std::vector<HistoryField> fields;
+
+  const HistoryField* find(const std::string& name) const;
+};
+
+/// Writes to disk; throws DataError on I/O failure. If `foreign_endian` is
+/// true the file is written in the *opposite* byte order (test hook
+/// simulating data produced on a different machine).
+void write_history(const std::string& path, const HistoryFile& history,
+                   bool foreign_endian = false);
+
+/// Reads and, when needed, byte-swaps. Throws DataError on malformed or
+/// truncated files.
+HistoryFile read_history(const std::string& path);
+
+/// Collective: gathers the decomposed state to mesh rank 0 and (on rank 0
+/// only) returns the assembled global history. Other ranks get an empty
+/// HistoryFile.
+HistoryFile gather_state(const comm::Mesh2D& mesh,
+                         const grid::Decomp2D& decomp,
+                         const grid::LatLonGrid& grid,
+                         const dynamics::State& state);
+
+/// Collective inverse of gather_state: rank 0 passes the history; every
+/// rank receives its block of every field into `state`.
+void scatter_state(const comm::Mesh2D& mesh, const grid::Decomp2D& decomp,
+                   const grid::LatLonGrid& grid, const HistoryFile& history,
+                   dynamics::State& state);
+
+}  // namespace agcm::io

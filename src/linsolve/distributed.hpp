@@ -1,0 +1,60 @@
+// Distributed tridiagonal solver (Wang's partition method).
+//
+// One global tridiagonal system is split into contiguous row blocks across
+// the ranks of a communicator. Each rank eliminates its interior unknowns
+// (a forward and a backward sweep that leave every local row coupled only
+// to the block's two interface neighbours), the 2P-unknown reduced system
+// is gathered and solved on rank 0 (it is tiny), and the interfaces are
+// broadcast for the final local back-substitution.
+//
+// This is the "fast (parallel) linear system solver for implicit
+// time-differencing schemes" of the paper's Section 5 component list: an
+// implicit zonal diffusion or semi-implicit gravity-wave step produces
+// exactly such systems along decomposed grid lines.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "comm/communicator.hpp"
+
+namespace agcm::linsolve {
+
+/// Solves the global system whose rows are distributed as contiguous
+/// blocks in rank order; this rank holds rows [offset, offset+n) with
+/// local arrays a/b/c/d of length n (a[0] couples to the previous rank's
+/// last unknown, c[n-1] to the next rank's first; both are ignored at the
+/// global ends). Requires diagonal dominance (no pivoting in the local
+/// sweeps) and n >= 1 on every rank. Returns this rank's slice of x.
+/// Collective.
+std::vector<double> distributed_tridiagonal_solve(
+    const comm::Communicator& comm, std::span<const double> a,
+    std::span<const double> b, std::span<const double> c,
+    std::span<const double> d);
+
+/// Periodic variant: the global first row's a couples to the global last
+/// unknown and vice versa (a latitude circle). Sherman-Morrison on top of
+/// two non-periodic distributed solves plus one small allreduce. Global
+/// size must be >= 3. Collective.
+std::vector<double> distributed_periodic_tridiagonal_solve(
+    const comm::Communicator& comm, std::span<const double> a,
+    std::span<const double> b, std::span<const double> c,
+    std::span<const double> d);
+
+/// Batched variants: `m` independent systems with the same block partition
+/// solved in ONE round of communication — the latency amortisation that
+/// makes the implicit zonal filter competitive (an unbatched loop pays the
+/// reduced-system gather per line; see bench_ablation_comm). System q
+/// occupies [q*n, (q+1)*n) of each array; the result is laid out the same
+/// way. Every rank must pass the same m.
+std::vector<double> distributed_tridiagonal_solve_many(
+    const comm::Communicator& comm, int m, std::span<const double> a,
+    std::span<const double> b, std::span<const double> c,
+    std::span<const double> d);
+
+std::vector<double> distributed_periodic_tridiagonal_solve_many(
+    const comm::Communicator& comm, int m, std::span<const double> a,
+    std::span<const double> b, std::span<const double> c,
+    std::span<const double> d);
+
+}  // namespace agcm::linsolve

@@ -1,0 +1,106 @@
+#include "linsolve/tridiag.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace agcm::linsolve {
+
+std::vector<double> thomas_solve(std::span<const double> a,
+                                 std::span<const double> b,
+                                 std::span<const double> c,
+                                 std::span<const double> d) {
+  const std::size_t n = b.size();
+  AGCM_ASSERT(a.size() == n && c.size() == n && d.size() == n);
+  AGCM_ASSERT(n >= 1);
+  std::vector<double> cp(n), dp(n);
+  AGCM_DBG_ASSERT(b[0] != 0.0);
+  cp[0] = c[0] / b[0];
+  dp[0] = d[0] / b[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const double denom = b[i] - a[i] * cp[i - 1];
+    AGCM_DBG_ASSERT(denom != 0.0);
+    cp[i] = c[i] / denom;
+    dp[i] = (d[i] - a[i] * dp[i - 1]) / denom;
+  }
+  std::vector<double> x(n);
+  x[n - 1] = dp[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) x[i] = dp[i] - cp[i] * x[i + 1];
+  return x;
+}
+
+std::vector<double> periodic_thomas_solve(std::span<const double> a,
+                                          std::span<const double> b,
+                                          std::span<const double> c,
+                                          std::span<const double> d) {
+  const std::size_t n = b.size();
+  check_config(n >= 3, "periodic tridiagonal solve needs n >= 3");
+  AGCM_ASSERT(a.size() == n && c.size() == n && d.size() == n);
+  // Sherman-Morrison: write A = B + u v^T with
+  //   u = (gamma, 0, ..., 0, c[n-1])^T, v = (1, 0, ..., 0, a[0]/gamma)^T,
+  // where B is A with b[0] -= gamma and b[n-1] -= c[n-1]*a[0]/gamma. Then
+  //   x = y - (v^T y) / (1 + v^T z) * z,  B y = d,  B z = u.
+  const double gamma = -b[0];
+  std::vector<double> bb(b.begin(), b.end());
+  bb[0] -= gamma;
+  bb[n - 1] -= c[n - 1] * a[0] / gamma;
+
+  std::vector<double> u(n, 0.0);
+  u[0] = gamma;
+  u[n - 1] = c[n - 1];
+
+  const auto y = thomas_solve(a, bb, c, d);
+  const auto z = thomas_solve(a, bb, c, u);
+
+  const double vy = y[0] + a[0] / gamma * y[n - 1];
+  const double vz = 1.0 + z[0] + a[0] / gamma * z[n - 1];
+  AGCM_DBG_ASSERT(vz != 0.0);
+  const double factor = vy / vz;
+
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = y[i] - factor * z[i];
+  return x;
+}
+
+std::vector<double> dense_solve(std::vector<double> matrix,
+                                std::vector<double> rhs) {
+  const std::size_t n = rhs.size();
+  check_config(matrix.size() == n * n, "dense_solve: matrix must be n x n");
+  auto at = [&](std::size_t r, std::size_t col) -> double& {
+    return matrix[r * n + col];
+  };
+  // Forward elimination with partial pivoting.
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot = k;
+    for (std::size_t r = k + 1; r < n; ++r)
+      if (std::abs(at(r, k)) > std::abs(at(pivot, k))) pivot = r;
+    if (std::abs(at(pivot, k)) < 1.0e-300)
+      throw ConfigError("dense_solve: singular matrix");
+    if (pivot != k) {
+      for (std::size_t col = k; col < n; ++col)
+        std::swap(at(pivot, col), at(k, col));
+      std::swap(rhs[pivot], rhs[k]);
+    }
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double m = at(r, k) / at(k, k);
+      if (m == 0.0) continue;
+      for (std::size_t col = k; col < n; ++col) at(r, col) -= m * at(k, col);
+      rhs[r] -= m * rhs[k];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = rhs[i];
+    for (std::size_t col = i + 1; col < n; ++col) acc -= at(i, col) * x[col];
+    x[i] = acc / at(i, i);
+  }
+  return x;
+}
+
+double thomas_flops(int n) { return 8.0 * n; }
+
+double periodic_thomas_flops(int n) { return 2.0 * thomas_flops(n) + 10.0; }
+
+}  // namespace agcm::linsolve

@@ -1,0 +1,45 @@
+// Serial tridiagonal and small dense solvers.
+//
+// Section 5 of the paper lists "fast (parallel) linear system solvers for
+// implicit time-differencing schemes" among the reusable components a GCM
+// library needs. The serial kernels here back two users: the implicit
+// vertical diffusion in the column physics (one small system per column)
+// and the reduced interface system of the distributed solver in
+// distributed.hpp.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace agcm::linsolve {
+
+/// Solves the tridiagonal system
+///   a[i] x[i-1] + b[i] x[i] + c[i] x[i+1] = d[i],  i = 0..n-1,
+/// with a[0] and c[n-1] ignored. Requires (and asserts in debug builds)
+/// non-zero pivots, which diagonal dominance guarantees. O(n), the Thomas
+/// algorithm.
+std::vector<double> thomas_solve(std::span<const double> a,
+                                 std::span<const double> b,
+                                 std::span<const double> c,
+                                 std::span<const double> d);
+
+/// Same system but periodic: a[0] couples x[0] to x[n-1] and c[n-1]
+/// couples x[n-1] to x[0] (a zonal circle). Sherman-Morrison reduction to
+/// two Thomas solves; n >= 3.
+std::vector<double> periodic_thomas_solve(std::span<const double> a,
+                                          std::span<const double> b,
+                                          std::span<const double> c,
+                                          std::span<const double> d);
+
+/// Dense Gaussian elimination with partial pivoting; `matrix` is row-major
+/// n x n (consumed), `rhs` length n. Intended for the small reduced systems
+/// of the distributed solver (2P unknowns), not large problems. Throws
+/// ConfigError on singular matrices.
+std::vector<double> dense_solve(std::vector<double> matrix,
+                                std::vector<double> rhs);
+
+/// Flop counts for the virtual clock.
+double thomas_flops(int n);
+double periodic_thomas_flops(int n);
+
+}  // namespace agcm::linsolve

@@ -1,0 +1,57 @@
+// Collective load balancing: moves real item payloads between ranks.
+//
+// balance_pairwise implements the paper's adopted Scheme 3 end-to-end, with
+// the communication structure of the original: per iteration, only the
+// per-rank *total loads* are exchanged globally (one double each); the
+// actual item movement is pairwise between sorted partners. Scheme 1 and 2
+// executors live in exchange.hpp (they need global item metadata — which is
+// exactly the bookkeeping overhead the paper criticises them for).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "loadbalance/schemes.hpp"
+
+namespace agcm::lb {
+
+/// Where a held item originally lived (so results can be returned).
+struct Origin {
+  int rank = 0;
+  int index = 0;  ///< index within the original owner's item list
+};
+
+/// Result of a collective balancing operation. The held_* vectors describe
+/// the items this rank must now process, in a stable order.
+struct BalanceResult {
+  std::vector<Item> held_items;
+  std::vector<Origin> held_origins;
+  std::vector<double> held_payloads;  ///< doubles_per_item per held item
+  double imbalance_before = 0.0;      ///< (max-avg)/avg of estimated loads
+  double imbalance_after = 0.0;
+  int iterations = 0;
+  std::vector<double> imbalance_history;  ///< [0]=before, [i]=after iter i
+};
+
+/// Scheme 3 (iterative sorted pairwise exchange), collective. `my_items`
+/// carry the estimated weights; `my_payloads` holds doubles_per_item
+/// contiguous doubles per item.
+BalanceResult balance_pairwise(const comm::Communicator& comm,
+                               std::span<const Item> my_items,
+                               std::span<const double> my_payloads,
+                               int doubles_per_item,
+                               PairwiseOptions options = {});
+
+/// Routes per-item results back to the items' original owners. `held` and
+/// the BalanceResult must come from the same balancing call;
+/// `held_results` holds doubles_per_result contiguous doubles per held
+/// item, ordered like held_items. Returns my original items' results in
+/// original item order. Collective.
+std::vector<double> return_to_owners(const comm::Communicator& comm,
+                                     const BalanceResult& held,
+                                     std::span<const double> held_results,
+                                     int doubles_per_result,
+                                     int my_item_count);
+
+}  // namespace agcm::lb

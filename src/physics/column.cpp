@@ -1,0 +1,136 @@
+#include "physics/column.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "linsolve/tridiag.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace agcm::physics {
+
+double cos_solar_zenith(double lat, double lon, double time_sec,
+                        double declination_rad) {
+  // Hour angle: the sun is overhead at lon = 0 at time 0 and sweeps
+  // westward with the 24-hour cycle.
+  const double hour_angle =
+      2.0 * std::numbers::pi * (time_sec / 86400.0) + lon;
+  return std::sin(lat) * std::sin(declination_rad) +
+         std::cos(lat) * std::cos(declination_rad) * std::cos(hour_angle);
+}
+
+ColumnResult step_column(const ColumnParams& params, std::uint64_t column_id,
+                         std::int64_t step, double lat, double lon,
+                         double time_sec, std::span<double> theta,
+                         std::span<double> q) {
+  const int nlev = params.nlev;
+  AGCM_ASSERT(static_cast<int>(theta.size()) == nlev);
+  AGCM_ASSERT(static_cast<int>(q.size()) == nlev);
+  ColumnResult result;
+
+  // Deterministic per-(column, step) stream: identical wherever computed.
+  Rng rng = Rng::for_stream(params.seed ^ (static_cast<std::uint64_t>(step) *
+                                           0x9E3779B97F4A7C15ULL),
+                            column_id);
+
+  // --- cloud field: slowly varying random fraction, moister -> cloudier --
+  double column_q = 0.0;
+  for (double v : q) column_q += v;
+  result.cloud_fraction = std::clamp(
+      0.25 + 18.0 * column_q / nlev + 0.35 * (rng.uniform() - 0.5), 0.0, 1.0);
+
+  // --- shortwave: daytime only; heats the column top-down ----------------
+  const double mu =
+      cos_solar_zenith(lat, lon, time_sec, params.solar_declination_rad);
+  result.daytime = mu > 0.0;
+  if (result.daytime) {
+    const double clear = 1.0 - 0.62 * result.cloud_fraction;
+    double transmitted = 1370.0 * mu * clear;  // W/m^2 at column top
+    for (int k = nlev - 1; k >= 0; --k) {
+      const double absorbed = transmitted * 0.06;
+      transmitted -= absorbed;
+      // ~1 K/day of heating at full sun, scaled to this layer's share.
+      theta[static_cast<std::size_t>(k)] +=
+          params.dt_sec * absorbed / (86400.0 * 10.0);
+    }
+    result.flops += params.flops_shortwave_per_layer * nlev *
+                    (0.8 + 0.4 * result.cloud_fraction);
+  }
+
+  // --- longwave: all layer pairs exchange (O(K^2)) -----------------------
+  for (int k1 = 0; k1 < nlev; ++k1) {
+    double exchange = 0.0;
+    for (int k2 = 0; k2 < nlev; ++k2) {
+      if (k1 == k2) continue;
+      const double t1 = theta[static_cast<std::size_t>(k1)];
+      const double t2 = theta[static_cast<std::size_t>(k2)];
+      const double emissivity =
+          0.015 / (1.0 + std::abs(k1 - k2));  // nearer layers couple harder
+      exchange += emissivity * (t2 - t1);
+    }
+    // Net cooling to space from every layer.
+    theta[static_cast<std::size_t>(k1)] +=
+        params.dt_sec * (exchange - 0.8) / 86400.0;
+  }
+  result.flops += params.flops_longwave_per_pair * nlev * nlev;
+
+  // --- cumulus convection: adjust conditionally unstable profiles --------
+  // theta must not decrease with height by more than the (cloud-modulated)
+  // threshold; unstable pairs are mixed iteratively, releasing latent heat
+  // from q. The iteration count — hence the cost — depends on the actual
+  // state: "the unpredictability of ... the distribution of cumulus
+  // convection implies an estimation of computation load ... is required".
+  const double threshold = 0.15 * (1.0 - 0.5 * result.cloud_fraction);
+  int iters = 0;
+  while (iters < params.max_convection_iters) {
+    bool unstable = false;
+    for (int k = 0; k + 1 < nlev; ++k) {
+      const double lower = theta[static_cast<std::size_t>(k)];
+      const double upper = theta[static_cast<std::size_t>(k + 1)];
+      if (upper - lower < -threshold) {
+        const double mixed = 0.5 * (lower + upper);
+        theta[static_cast<std::size_t>(k)] = mixed - 0.25 * threshold;
+        theta[static_cast<std::size_t>(k + 1)] = mixed + 0.25 * threshold;
+        // Condensation: moisture converts to latent heating + rain.
+        double& qk = q[static_cast<std::size_t>(k)];
+        const double condensed = 0.1 * qk;
+        qk -= condensed;
+        result.precipitation += condensed;
+        theta[static_cast<std::size_t>(k)] += 120.0 * condensed;
+        unstable = true;
+      }
+    }
+    ++iters;
+    if (!unstable) break;
+  }
+  result.convection_iters = iters;
+  result.flops +=
+      params.flops_convection_per_layer_iter * nlev * std::max(1, iters);
+
+  // --- implicit vertical diffusion (boundary-layer mixing) ---------------
+  // (I - K d2/dz2) x_new = x with Neumann ends: unconditionally stable, so
+  // one Thomas solve per profile replaces many explicit sub-steps.
+  if (params.implicit_diffusion > 0.0 && nlev >= 2) {
+    const double kdiff = params.implicit_diffusion;
+    std::vector<double> sub(static_cast<std::size_t>(nlev), -kdiff);
+    std::vector<double> diag(static_cast<std::size_t>(nlev), 1.0 + 2.0 * kdiff);
+    std::vector<double> sup(static_cast<std::size_t>(nlev), -kdiff);
+    diag.front() = 1.0 + kdiff;  // Neumann (no flux through the ends)
+    diag.back() = 1.0 + kdiff;
+    const auto theta_new = linsolve::thomas_solve(
+        sub, diag, sup, std::vector<double>(theta.begin(), theta.end()));
+    const auto q_new = linsolve::thomas_solve(
+        sub, diag, sup, std::vector<double>(q.begin(), q.end()));
+    std::copy(theta_new.begin(), theta_new.end(), theta.begin());
+    std::copy(q_new.begin(), q_new.end(), q.begin());
+    result.flops += 2.0 * linsolve::thomas_flops(nlev);
+  }
+
+  // Moist processes keep q non-negative and bounded.
+  for (double& v : q) v = std::clamp(v, 0.0, 0.04);
+
+  return result;
+}
+
+}  // namespace agcm::physics

@@ -1,0 +1,150 @@
+#include "physics/physics.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace agcm::physics {
+
+Physics::Physics(const comm::Mesh2D& mesh, const grid::Decomp2D& decomp,
+                 const grid::LatLonGrid& grid, const PhysicsConfig& config)
+    : mesh_(&mesh), decomp_(&decomp), grid_(&grid), config_(config),
+      box_(decomp.box(mesh.coord())) {
+  check_config(config.column.nlev == grid.nlev(),
+               "physics nlev must match the grid");
+  // First pass: no history yet; assume uniform cost.
+  prev_cost_.assign(
+      static_cast<std::size_t>(box_.ni) * static_cast<std::size_t>(box_.nj),
+      1.0);
+}
+
+double Physics::run_one_column(std::uint64_t column_id, std::int64_t step,
+                               double time_sec, std::span<double> theta,
+                               std::span<double> q) const {
+  const int nlon = grid_->nlon();
+  const auto gi = static_cast<int>(column_id % static_cast<std::uint64_t>(nlon));
+  const auto gj = static_cast<int>(column_id / static_cast<std::uint64_t>(nlon));
+  const double lat = grid_->lat_center(gj);
+  const double lon = grid_->lon_center(gi);
+  const ColumnResult result = step_column(config_.column, column_id, step,
+                                          lat, lon, time_sec, theta, q);
+  return result.flops;
+}
+
+PhysicsStepStats Physics::step(dynamics::State& state) {
+  auto& clock = mesh_->world().context().clock();
+  timings_ = PhysicsTimings{};
+  PhysicsStepStats stats;
+
+  const int nlev = grid_->nlev();
+  const auto ncols = static_cast<std::size_t>(box_.ni) *
+                     static_cast<std::size_t>(box_.nj);
+  const int per_item = 2 * nlev;  // theta + q profiles
+  const auto nlon = static_cast<std::uint64_t>(grid_->nlon());
+
+  // Gather column payloads and load estimates (previous-pass costs).
+  std::vector<lb::Item> items(ncols);
+  std::vector<double> payloads(ncols * static_cast<std::size_t>(per_item));
+  {
+    std::size_t c = 0;
+    for (int j = 0; j < box_.nj; ++j) {
+      for (int i = 0; i < box_.ni; ++i, ++c) {
+        const std::uint64_t id =
+            static_cast<std::uint64_t>(box_.j0 + j) * nlon +
+            static_cast<std::uint64_t>(box_.i0 + i);
+        items[c] = {id, prev_cost_[c]};
+        double* p = payloads.data() + c * static_cast<std::size_t>(per_item);
+        for (int k = 0; k < nlev; ++k) {
+          p[k] = state.theta(i, j, k);
+          p[nlev + k] = state.q(i, j, k);
+        }
+      }
+    }
+    clock.memory_traffic(static_cast<double>(payloads.size()) *
+                         sizeof(double));
+  }
+
+  if (!config_.load_balance) {
+    // Straight local pass.
+    const double t0 = clock.now();
+    double local_flops = 0.0;
+    std::size_t c = 0;
+    for (int j = 0; j < box_.nj; ++j) {
+      for (int i = 0; i < box_.ni; ++i, ++c) {
+        double* p = payloads.data() + c * static_cast<std::size_t>(per_item);
+        const double flops = run_one_column(
+            items[c].id, state.step, state.time_sec,
+            std::span<double>(p, static_cast<std::size_t>(nlev)),
+            std::span<double>(p + nlev, static_cast<std::size_t>(nlev)));
+        prev_cost_[c] = flops;
+        local_flops += flops;
+        for (int k = 0; k < nlev; ++k) {
+          state.theta(i, j, k) = p[k];
+          state.q(i, j, k) = p[nlev + k];
+        }
+      }
+    }
+    clock.compute(local_flops);
+    timings_.local_flops = local_flops;
+    timings_.compute_sec = clock.now() - t0;
+    return stats;
+  }
+
+  // --- Scheme-3 load-balanced pass ---------------------------------------
+  const double t_bal0 = clock.now();
+  const lb::BalanceResult balanced = lb::balance_pairwise(
+      mesh_->world(), items, payloads, per_item, config_.lb_options);
+  stats.imbalance_before = balanced.imbalance_before;
+  stats.imbalance_after = balanced.imbalance_after;
+  stats.lb_iterations = balanced.iterations;
+  timings_.balance_sec = clock.now() - t_bal0;
+
+  // Process the held columns; results carry the updated profiles plus the
+  // measured cost (which becomes the owner's next estimate).
+  const int per_result = per_item + 1;
+  std::vector<double> results(balanced.held_items.size() *
+                              static_cast<std::size_t>(per_result));
+  const double t_comp0 = clock.now();
+  double local_flops = 0.0;
+  std::vector<double> held_payloads = balanced.held_payloads;
+  for (std::size_t c = 0; c < balanced.held_items.size(); ++c) {
+    double* p =
+        held_payloads.data() + c * static_cast<std::size_t>(per_item);
+    const double flops = run_one_column(
+        balanced.held_items[c].id, state.step, state.time_sec,
+        std::span<double>(p, static_cast<std::size_t>(nlev)),
+        std::span<double>(p + nlev, static_cast<std::size_t>(nlev)));
+    local_flops += flops;
+    double* r = results.data() + c * static_cast<std::size_t>(per_result);
+    for (int x = 0; x < per_item; ++x) r[x] = p[x];
+    r[per_item] = flops;
+  }
+  clock.compute(local_flops);
+  timings_.local_flops = local_flops;
+  timings_.compute_sec = clock.now() - t_comp0;
+
+  // Route results home and write them back.
+  const double t_ret0 = clock.now();
+  const std::vector<double> mine = lb::return_to_owners(
+      mesh_->world(), balanced, results, per_result,
+      static_cast<int>(ncols));
+  {
+    std::size_t c = 0;
+    for (int j = 0; j < box_.nj; ++j) {
+      for (int i = 0; i < box_.ni; ++i, ++c) {
+        const double* r =
+            mine.data() + c * static_cast<std::size_t>(per_result);
+        for (int k = 0; k < nlev; ++k) {
+          state.theta(i, j, k) = r[k];
+          state.q(i, j, k) = r[nlev + k];
+        }
+        prev_cost_[c] = r[per_item];
+      }
+    }
+    clock.memory_traffic(static_cast<double>(mine.size()) * sizeof(double));
+  }
+  timings_.balance_sec += clock.now() - t_ret0;
+  return stats;
+}
+
+}  // namespace agcm::physics

@@ -1,0 +1,89 @@
+#include "simnet/machine.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace agcm::simnet {
+
+void RankContext::send_bytes(int dst, std::int64_t tag,
+                             std::span<const std::byte> bytes) {
+  if (dst < 0 || dst >= nranks()) {
+    throw CommError("send to invalid rank " + std::to_string(dst));
+  }
+  clock_.charge_send_overhead();
+  Packet packet;
+  packet.payload.assign(bytes.begin(), bytes.end());
+  packet.depart_time = clock_.now();
+  packet.src = rank_;
+  packet.tag = tag;
+  network_->count_message(bytes.size());
+  network_->mailbox(dst).push(std::move(packet));
+}
+
+std::vector<std::byte> RankContext::recv_bytes(int src, std::int64_t tag) {
+  if (src < 0 || src >= nranks()) {
+    throw CommError("recv from invalid rank " + std::to_string(src));
+  }
+  Packet packet =
+      network_->mailbox(rank_).pop(src, tag, network_->recv_timeout_ms());
+  const double arrival =
+      packet.depart_time +
+      clock_.profile().transfer_time(static_cast<double>(packet.payload.size()));
+  clock_.apply_arrival(arrival);
+  return std::move(packet.payload);
+}
+
+double RunResult::makespan() const {
+  if (finish_times.empty()) return 0.0;
+  return *std::max_element(finish_times.begin(), finish_times.end());
+}
+
+RunResult Machine::run(int nranks,
+                       const std::function<void(RankContext&)>& program) {
+  check_config(nranks > 0, "Machine::run requires nranks > 0");
+  Network network(nranks);
+  network.set_recv_timeout_ms(recv_timeout_ms_);
+
+  std::vector<std::unique_ptr<RankContext>> contexts;
+  contexts.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    contexts.push_back(std::make_unique<RankContext>(r, network, profile_));
+  }
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      threads.emplace_back([&, r] {
+        try {
+          program(*contexts[static_cast<std::size_t>(r)]);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+  }  // jthreads join here
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  RunResult result;
+  result.finish_times.reserve(static_cast<std::size_t>(nranks));
+  result.breakdowns.reserve(static_cast<std::size_t>(nranks));
+  for (const auto& ctx : contexts) {
+    result.finish_times.push_back(ctx->clock().now());
+    result.breakdowns.push_back(ctx->clock().breakdown());
+  }
+  result.total_messages = network.total_messages();
+  result.total_bytes = network.total_bytes();
+  return result;
+}
+
+}  // namespace agcm::simnet

@@ -1,0 +1,76 @@
+// The virtual multicomputer: runs an SPMD program with one host thread per
+// virtual node. Real data moves between ranks (results are verifiable); the
+// machine profile only prices the operations on each rank's virtual clock.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "simnet/machine_profile.hpp"
+#include "simnet/network.hpp"
+#include "simnet/virtual_clock.hpp"
+
+namespace agcm::simnet {
+
+/// Everything one rank of an SPMD program can touch. Byte-level transport;
+/// the typed interface is comm::Communicator.
+class RankContext {
+ public:
+  RankContext(int rank, Network& network, const MachineProfile& profile)
+      : rank_(rank), network_(&network), clock_(profile) {}
+
+  RankContext(const RankContext&) = delete;
+  RankContext& operator=(const RankContext&) = delete;
+
+  int rank() const { return rank_; }
+  int nranks() const { return network_->nranks(); }
+  VirtualClock& clock() { return clock_; }
+  const VirtualClock& clock() const { return clock_; }
+  Network& network() { return *network_; }
+
+  /// Sends raw bytes to `dst` with `tag`; charges sender overhead and
+  /// stamps the packet with the virtual departure time.
+  void send_bytes(int dst, std::int64_t tag, std::span<const std::byte> bytes);
+
+  /// Blocking receive of the next packet on channel (src, tag). Advances the
+  /// virtual clock to the message arrival (wire latency + serialisation).
+  std::vector<std::byte> recv_bytes(int src, std::int64_t tag);
+
+ private:
+  int rank_;
+  Network* network_;
+  VirtualClock clock_;
+};
+
+/// Result of one SPMD run: per-rank virtual clocks and traffic totals.
+struct RunResult {
+  std::vector<double> finish_times;          ///< virtual now() at program end
+  std::vector<TimeBreakdown> breakdowns;     ///< per-rank accounting
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bytes = 0;
+
+  /// Virtual makespan: the slowest rank's finish time.
+  double makespan() const;
+};
+
+/// Launches `nranks` instances of `program` (one per thread), joins them and
+/// returns the virtual-time accounting. Exceptions thrown by any rank are
+/// rethrown here (first one wins) after all threads have been joined.
+class Machine {
+ public:
+  explicit Machine(MachineProfile profile) : profile_(std::move(profile)) {}
+
+  const MachineProfile& profile() const { return profile_; }
+
+  /// Deadlock-detection timeout for blocking receives (real milliseconds).
+  void set_recv_timeout_ms(int ms) { recv_timeout_ms_ = ms; }
+
+  RunResult run(int nranks, const std::function<void(RankContext&)>& program);
+
+ private:
+  MachineProfile profile_;
+  int recv_timeout_ms_ = 60'000;
+};
+
+}  // namespace agcm::simnet

@@ -1,0 +1,92 @@
+#include "simnet/machine_profile.hpp"
+
+#include <algorithm>
+
+namespace agcm::simnet {
+
+double MachineProfile::compute_time(double flops,
+                                    double cache_efficiency) const {
+  const double eff = std::clamp(cache_efficiency, 1.0e-3, 1.0);
+  return flops / (flops_per_sec * eff);
+}
+
+// Calibration notes
+// -----------------
+// Absolute rates below are *sustained application* figures, not peaks:
+//  * Paragon i860 XP peak was 75 MFLOP/s but real finite-difference Fortran
+//    sustained low single-digit MFLOP/s (tiny 16 KB cache, weak compiler).
+//  * T3D Alpha 21064 peak was 150 MFLOP/s; the paper reports the whole AGCM
+//    runs ~2.5x faster than on the Paragon, so we use a ~2.5x flop rate.
+//  * Latencies/bandwidths are from published NX / T3D SHMEM-era
+//    microbenchmarks: Paragon ~70-100 us latency and ~70-90 MB/s sustained;
+//    T3D ~2-20 us latency and ~120-150 MB/s for portable message layers.
+// These numbers are fixed once here; no per-experiment tuning is applied.
+
+MachineProfile MachineProfile::intel_paragon() {
+  MachineProfile p;
+  p.name = "Intel Paragon";
+  p.flops_per_sec = 2.9e6;
+  p.mem_bytes_per_sec = 45.0e6;
+  p.cache_bytes = 16.0 * 1024;
+  p.msg_latency_sec = 100.0e-6;
+  p.link_bytes_per_sec = 80.0e6;
+  // Application-level per-message software cost: NX plus the AGCM's
+  // portability macro layer. Ping-pong microbenchmarks were ~3x cheaper,
+  // but the paper's own transpose costs imply this range.
+  p.send_overhead_sec = 150.0e-6;
+  p.recv_overhead_sec = 150.0e-6;
+  p.stencil_separate_eff = 0.12;  // paper: block array 5x faster at 32^3
+  p.stencil_block_eff = 0.60;
+  p.loop_startup_elems = 8.0;  // i860: deep pipelines, costly loop overhead
+  return p;
+}
+
+MachineProfile MachineProfile::cray_t3d() {
+  MachineProfile p;
+  p.name = "Cray T3D";
+  p.flops_per_sec = 7.4e6;
+  p.mem_bytes_per_sec = 120.0e6;
+  p.cache_bytes = 8.0 * 1024;
+  p.msg_latency_sec = 15.0e-6;
+  p.link_bytes_per_sec = 130.0e6;
+  // As for the Paragon: portable message-passing cost, not raw SHMEM.
+  p.send_overhead_sec = 60.0e-6;
+  p.recv_overhead_sec = 60.0e-6;
+  p.stencil_separate_eff = 0.18;  // paper: block array 2.6x faster at 32^3
+  p.stencil_block_eff = 0.47;
+  p.loop_startup_elems = 6.0;
+  return p;
+}
+
+MachineProfile MachineProfile::ibm_sp2() {
+  MachineProfile p;
+  p.name = "IBM SP-2";
+  p.flops_per_sec = 18.0e6;
+  p.mem_bytes_per_sec = 200.0e6;
+  p.cache_bytes = 64.0 * 1024;
+  p.msg_latency_sec = 40.0e-6;
+  p.link_bytes_per_sec = 35.0e6;
+  p.send_overhead_sec = 25.0e-6;
+  p.recv_overhead_sec = 25.0e-6;
+  p.stencil_separate_eff = 0.45;  // larger caches: layout matters less
+  p.stencil_block_eff = 0.80;
+  p.loop_startup_elems = 4.0;
+  return p;
+}
+
+MachineProfile MachineProfile::ideal() {
+  MachineProfile p;
+  p.name = "ideal";
+  p.flops_per_sec = 1.0;
+  p.mem_bytes_per_sec = 1.0e30;
+  p.cache_bytes = 1.0e30;
+  p.msg_latency_sec = 0.0;
+  p.link_bytes_per_sec = 1.0e30;
+  p.send_overhead_sec = 0.0;
+  p.recv_overhead_sec = 0.0;
+  p.stencil_separate_eff = 1.0;
+  p.stencil_block_eff = 1.0;
+  return p;
+}
+
+}  // namespace agcm::simnet

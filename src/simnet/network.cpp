@@ -1,0 +1,74 @@
+#include "simnet/network.hpp"
+
+#include <chrono>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace agcm::simnet {
+
+void Mailbox::push(Packet packet) {
+  {
+    std::lock_guard lock(mutex_);
+    channels_[{packet.src, packet.tag}].push_back(std::move(packet));
+  }
+  cv_.notify_all();
+}
+
+Packet Mailbox::pop(int src, std::int64_t tag, int timeout_ms) {
+  std::unique_lock lock(mutex_);
+  const Key key{src, tag};
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  const bool ok = cv_.wait_until(lock, deadline, [&] {
+    auto it = channels_.find(key);
+    return it != channels_.end() && !it->second.empty();
+  });
+  if (!ok) {
+    throw CommError(strformat(
+        "recv timeout after {} ms waiting for message src={} tag={} "
+        "(likely deadlock or tag mismatch)",
+        timeout_ms, src, tag));
+  }
+  auto it = channels_.find(key);
+  Packet packet = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) channels_.erase(it);
+  return packet;
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [key, queue] : channels_) n += queue.size();
+  return n;
+}
+
+Network::Network(int nranks) : nranks_(nranks), mailboxes_(nranks) {
+  AGCM_ASSERT(nranks > 0);
+}
+
+Mailbox& Network::mailbox(int rank) {
+  AGCM_ASSERT(rank >= 0 && rank < nranks_);
+  return mailboxes_[static_cast<std::size_t>(rank)];
+}
+
+void Network::count_message(std::size_t bytes) {
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t Network::total_messages() const {
+  return messages_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Network::total_bytes() const {
+  return bytes_.load(std::memory_order_relaxed);
+}
+
+void Network::reset_counters() {
+  messages_.store(0, std::memory_order_relaxed);
+  bytes_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace agcm::simnet

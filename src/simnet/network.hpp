@@ -1,0 +1,74 @@
+// In-memory message transport between virtual nodes.
+//
+// Every (src, dst, tag) channel preserves FIFO order, matching MPI point-to-
+// point semantics. Payloads are raw bytes; the typed layer lives in
+// comm/communicator.hpp. Each packet carries the sender's virtual departure
+// time so the receiver can compute its virtual arrival.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace agcm::simnet {
+
+/// One in-flight message.
+struct Packet {
+  std::vector<std::byte> payload;
+  double depart_time = 0.0;  ///< sender's virtual clock when injected
+  int src = -1;
+  std::int64_t tag = 0;  ///< wide: encodes (communicator context, user tag)
+};
+
+/// Per-destination mailbox; thread-safe.
+class Mailbox {
+ public:
+  void push(Packet packet);
+
+  /// Blocks until a packet from (src, tag) is available; FIFO per channel.
+  /// Throws CommError after `timeout_ms` of real time (deadlock detection).
+  Packet pop(int src, std::int64_t tag, int timeout_ms);
+
+  /// Number of queued packets across all channels (diagnostics).
+  std::size_t pending() const;
+
+ private:
+  using Key = std::pair<int, std::int64_t>;  // (src, tag)
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<Key, std::deque<Packet>> channels_;
+};
+
+/// The whole interconnect: one mailbox per rank plus volume counters.
+class Network {
+ public:
+  explicit Network(int nranks);
+
+  int nranks() const { return nranks_; }
+  Mailbox& mailbox(int rank);
+
+  /// Deadlock-detection timeout for blocking receives (real milliseconds).
+  void set_recv_timeout_ms(int ms) { timeout_ms_ = ms; }
+  int recv_timeout_ms() const { return timeout_ms_; }
+
+  /// Global traffic counters (atomic, aggregated across ranks).
+  void count_message(std::size_t bytes);
+  std::uint64_t total_messages() const;
+  std::uint64_t total_bytes() const;
+  void reset_counters();
+
+ private:
+  int nranks_;
+  std::vector<Mailbox> mailboxes_;
+  int timeout_ms_ = 60'000;
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace agcm::simnet

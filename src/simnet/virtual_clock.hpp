@@ -1,0 +1,84 @@
+// Per-rank virtual clock.
+//
+// Each virtual node owns one clock, advanced only by its own thread:
+//  * compute work advances it by flops / (rate * cache_efficiency),
+//  * receiving a message advances it to at least the message arrival time
+//    (any gap is recorded as idle/wait time),
+//  * send/recv overheads advance it by the profile's per-message CPU cost.
+// Because every advance depends only on the program's own communication
+// pattern (never on host scheduling), virtual times are bit-deterministic.
+#pragma once
+
+#include "simnet/machine_profile.hpp"
+
+namespace agcm::simnet {
+
+/// Categorised virtual-time accounting for one rank.
+struct TimeBreakdown {
+  double compute = 0.0;   ///< local floating-point / memory work
+  double overhead = 0.0;  ///< per-message CPU overheads
+  double wait = 0.0;      ///< blocked waiting for messages (load imbalance!)
+
+  double total() const { return compute + overhead + wait; }
+};
+
+class VirtualClock {
+ public:
+  explicit VirtualClock(const MachineProfile& profile) : profile_(&profile) {}
+
+  double now() const { return now_; }
+  const MachineProfile& profile() const { return *profile_; }
+  const TimeBreakdown& breakdown() const { return breakdown_; }
+
+  /// Charges `flops` of arithmetic at the given cache efficiency.
+  void compute(double flops, double cache_efficiency = 1.0) {
+    const double dt = profile_->compute_time(flops, cache_efficiency);
+    now_ += dt;
+    breakdown_.compute += dt;
+  }
+
+  /// Charges a pure memory-traffic cost (copies, byte-order reversal, ...).
+  void memory_traffic(double bytes) {
+    const double dt = bytes / profile_->mem_bytes_per_sec;
+    now_ += dt;
+    breakdown_.compute += dt;
+  }
+
+  /// Charges the sender-side CPU overhead of one message.
+  void charge_send_overhead() {
+    now_ += profile_->send_overhead_sec;
+    breakdown_.overhead += profile_->send_overhead_sec;
+  }
+
+  /// Applies message arrival: waits (virtually) until `arrival_time` if the
+  /// clock is behind it, then charges the receive overhead.
+  void apply_arrival(double arrival_time) {
+    if (arrival_time > now_) {
+      breakdown_.wait += arrival_time - now_;
+      now_ = arrival_time;
+    }
+    now_ += profile_->recv_overhead_sec;
+    breakdown_.overhead += profile_->recv_overhead_sec;
+  }
+
+  /// Moves the clock forward to `t` (used by barriers); no-op if t <= now.
+  void wait_until(double t) {
+    if (t > now_) {
+      breakdown_.wait += t - now_;
+      now_ = t;
+    }
+  }
+
+  /// Arbitrary explicit advance charged as compute (setup bookkeeping, ...).
+  void advance(double seconds) {
+    now_ += seconds;
+    breakdown_.compute += seconds;
+  }
+
+ private:
+  const MachineProfile* profile_;
+  double now_ = 0.0;
+  TimeBreakdown breakdown_{};
+};
+
+}  // namespace agcm::simnet

@@ -1,0 +1,81 @@
+#include "singlenode/miniblas.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace agcm::singlenode {
+
+void dcopy(std::span<const double> x, std::span<double> y) {
+  AGCM_ASSERT(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i];
+}
+
+void dcopy_unrolled(std::span<const double> x, std::span<double> y) {
+  AGCM_ASSERT(x.size() == y.size());
+  std::size_t i = 0;
+  for (; i + 4 <= x.size(); i += 4) {
+    y[i] = x[i];
+    y[i + 1] = x[i + 1];
+    y[i + 2] = x[i + 2];
+    y[i + 3] = x[i + 3];
+  }
+  for (; i < x.size(); ++i) y[i] = x[i];
+}
+
+void dscal(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+void dscal_unrolled(double alpha, std::span<double> x) {
+  std::size_t i = 0;
+  for (; i + 4 <= x.size(); i += 4) {
+    x[i] *= alpha;
+    x[i + 1] *= alpha;
+    x[i + 2] *= alpha;
+    x[i + 3] *= alpha;
+  }
+  for (; i < x.size(); ++i) x[i] *= alpha;
+}
+
+void daxpy(double alpha, std::span<const double> x, std::span<double> y) {
+  AGCM_ASSERT(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void daxpy_unrolled(double alpha, std::span<const double> x,
+                    std::span<double> y) {
+  AGCM_ASSERT(x.size() == y.size());
+  std::size_t i = 0;
+  for (; i + 4 <= x.size(); i += 4) {
+    y[i] += alpha * x[i];
+    y[i + 1] += alpha * x[i + 1];
+    y[i + 2] += alpha * x[i + 2];
+    y[i + 3] += alpha * x[i + 3];
+  }
+  for (; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double ddot(std::span<const double> x, std::span<const double> y) {
+  AGCM_ASSERT(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double ddot_unrolled(std::span<const double> x, std::span<const double> y) {
+  AGCM_ASSERT(x.size() == y.size());
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= x.size(); i += 4) {
+    a0 += x[i] * y[i];
+    a1 += x[i + 1] * y[i + 1];
+    a2 += x[i + 2] * y[i + 2];
+    a3 += x[i + 3] * y[i + 3];
+  }
+  double acc = (a0 + a1) + (a2 + a3);
+  for (; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+}  // namespace agcm::singlenode

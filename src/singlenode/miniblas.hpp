@@ -1,0 +1,29 @@
+// Mini-BLAS: the level-1 routines the paper substituted for hand-coded
+// loops ("replacing some loops by Basic Linear Algebra Subroutines (BLAS)
+// library calls for vector copying, scaling or saxpy operations"), each in
+// a plain and a 4-way-unrolled variant so the benchmark can measure the
+// gap the paper exploited.
+#pragma once
+
+#include <span>
+
+namespace agcm::singlenode {
+
+/// y = x.
+void dcopy(std::span<const double> x, std::span<double> y);
+void dcopy_unrolled(std::span<const double> x, std::span<double> y);
+
+/// x = alpha * x.
+void dscal(double alpha, std::span<double> x);
+void dscal_unrolled(double alpha, std::span<double> x);
+
+/// y = alpha * x + y.
+void daxpy(double alpha, std::span<const double> x, std::span<double> y);
+void daxpy_unrolled(double alpha, std::span<const double> x,
+                    std::span<double> y);
+
+/// dot(x, y).
+double ddot(std::span<const double> x, std::span<const double> y);
+double ddot_unrolled(std::span<const double> x, std::span<const double> y);
+
+}  // namespace agcm::singlenode

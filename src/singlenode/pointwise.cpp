@@ -1,0 +1,63 @@
+#include "singlenode/pointwise.hpp"
+
+#include "util/error.hpp"
+
+namespace agcm::singlenode {
+
+namespace {
+void validate(std::span<const double> a, std::span<const double> b,
+              std::span<double> out) {
+  check_config(!b.empty(), "pointwise multiply: b must be non-empty");
+  check_config(a.size() % b.size() == 0,
+               "pointwise multiply: n must be divisible by m");
+  check_config(out.size() == a.size(),
+               "pointwise multiply: out size must match a");
+}
+}  // namespace
+
+void pointwise_multiply_naive(std::span<const double> a,
+                              std::span<const double> b,
+                              std::span<double> out) {
+  validate(a, b, out);
+  const std::size_t m = b.size();
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i % m];
+}
+
+void pointwise_multiply_tiled(std::span<const double> a,
+                              std::span<const double> b,
+                              std::span<double> out) {
+  validate(a, b, out);
+  const std::size_t m = b.size();
+  const std::size_t panels = a.size() / m;
+  for (std::size_t p = 0; p < panels; ++p) {
+    const double* ap = a.data() + p * m;
+    double* op = out.data() + p * m;
+    for (std::size_t q = 0; q < m; ++q) op[q] = ap[q] * b[q];
+  }
+}
+
+void pointwise_multiply_unrolled(std::span<const double> a,
+                                 std::span<const double> b,
+                                 std::span<double> out) {
+  validate(a, b, out);
+  const std::size_t m = b.size();
+  const std::size_t panels = a.size() / m;
+  for (std::size_t p = 0; p < panels; ++p) {
+    const double* ap = a.data() + p * m;
+    double* op = out.data() + p * m;
+    std::size_t q = 0;
+    for (; q + 4 <= m; q += 4) {
+      op[q] = ap[q] * b[q];
+      op[q + 1] = ap[q + 1] * b[q + 1];
+      op[q + 2] = ap[q + 2] * b[q + 2];
+      op[q + 3] = ap[q + 3] * b[q + 3];
+    }
+    for (; q < m; ++q) op[q] = ap[q] * b[q];
+  }
+}
+
+double pointwise_multiply_flops(std::size_t n) {
+  return static_cast<double>(n);
+}
+
+}  // namespace agcm::singlenode

@@ -1,0 +1,68 @@
+// Single-node cache-efficiency experiment (paper Section 3.4).
+//
+// The paper evaluates a seven-point Laplace stencil applied to several
+// discrete fields — equation (5): r = D1 f1 + ... + Dm fm — under two data
+// layouts:
+//   * separate arrays:  one 3-D array per field (the AGCM's layout),
+//   * block array:      one 4-D array f(m, idim, jdim, kdim) with the m
+//     field values of a grid point adjacent in memory (equation (6)).
+// On 32^3 grids the paper measured the block layout 5x faster on the
+// Paragon and 2.6x faster on the T3D — but found no advantage inside the
+// real advection routine, because its many loops reference varying subsets
+// of the fields.
+//
+// Both layouts compute identical sums; the host-time benchmark measures
+// the real layout effect on modern hardware, and the virtual-cost model
+// below prices them for the 1990s machines.
+#pragma once
+
+#include <vector>
+
+#include "simnet/machine_profile.hpp"
+
+namespace agcm::singlenode {
+
+/// Separate-arrays operand: `m` cubes of n^3 doubles (no ghosts; the
+/// stencil wraps periodically so every point has 6 neighbours).
+struct SeparateFields {
+  SeparateFields(int m, int n);
+  int m, n;
+  std::vector<std::vector<double>> fields;  ///< fields[f][i + n*(j + n*k)]
+};
+
+/// Block-array operand: f(q, i, j, k) with the field index q fastest —
+/// the Fortran f(m, idim, jdim, kdim) of the paper's equation (6).
+struct BlockFields {
+  BlockFields(int m, int n);
+  static BlockFields from_separate(const SeparateFields& s);
+  int m, n;
+  std::vector<double> data;  ///< data[q + m*(i + n*(j + n*k))]
+};
+
+/// r(i,j,k) = sum_f Laplace7(f)(i,j,k), periodic in all three directions.
+void laplace_sum_separate(const SeparateFields& in, std::vector<double>& out);
+void laplace_sum_block(const BlockFields& in, std::vector<double>& out);
+
+/// Flop count of either variant (identical arithmetic): m fields x 8 flops
+/// per point (6 adds, scale, accumulate).
+double laplace_sum_flops(int m, int n);
+
+/// Virtual cache efficiency of the two layouts for the 1990s nodes. The
+/// model: the stencil streams `m` arrays (separate) or one fat array
+/// (block); when the per-iteration working set — m cache lines from
+/// distinct arrays plus the j/k-offset neighbours — exceeds the data
+/// cache's capacity/associativity, efficiency collapses. Constants are
+/// anchored to the paper's own 32^3 measurements (5x Paragon, 2.6x T3D)
+/// rather than to a microarchitectural simulation.
+double stencil_cache_efficiency_separate(const simnet::MachineProfile& node,
+                                         int m, int n);
+double stencil_cache_efficiency_block(const simnet::MachineProfile& node,
+                                      int m, int n);
+
+/// Virtual seconds for one evaluation under each layout.
+double stencil_virtual_time_separate(const simnet::MachineProfile& node,
+                                     int m, int n);
+double stencil_virtual_time_block(const simnet::MachineProfile& node, int m,
+                                  int n);
+
+}  // namespace agcm::singlenode

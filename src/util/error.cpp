@@ -1,0 +1,27 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace agcm {
+
+namespace detail {
+
+void assert_fail(const char* expr, std::source_location loc) {
+  std::fprintf(stderr, "AGCM_ASSERT failed: %s at %s:%u (%s)\n", expr,
+               loc.file_name(), loc.line(), loc.function_name());
+  std::abort();
+}
+
+void check_fail(const std::string& msg, std::source_location loc) {
+  throw ConfigError(msg + " [" + loc.file_name() + ":" +
+                    std::to_string(loc.line()) + "]");
+}
+
+}  // namespace detail
+
+void check_config(bool cond, const std::string& msg, std::source_location loc) {
+  if (!cond) detail::check_fail(msg, loc);
+}
+
+}  // namespace agcm

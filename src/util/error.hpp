@@ -1,0 +1,66 @@
+// Error handling primitives for the AGCM reproduction library.
+//
+// Construction and configuration errors throw agcm::Error (invariants the
+// caller can get wrong); internal invariants use AGCM_ASSERT which aborts,
+// because a broken internal invariant inside the parallel engine cannot be
+// recovered from rank-locally.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace agcm {
+
+/// Base exception for all recoverable library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid user-supplied configuration (grid sizes, node meshes, ...).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed or truncated input data (history files, ...).
+class DataError : public Error {
+ public:
+  explicit DataError(const std::string& what) : Error(what) {}
+};
+
+/// Misuse of the communication layer (mismatched message sizes, bad ranks).
+class CommError : public Error {
+ public:
+  explicit CommError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, std::source_location loc);
+[[noreturn]] void check_fail(const std::string& msg, std::source_location loc);
+}  // namespace detail
+
+/// Throws ConfigError with file:line context when `cond` is false.
+void check_config(bool cond, const std::string& msg,
+                  std::source_location loc = std::source_location::current());
+
+}  // namespace agcm
+
+/// Hard internal invariant; aborts the process on violation.
+#define AGCM_ASSERT(expr)                                                   \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::agcm::detail::assert_fail(#expr, std::source_location::current());  \
+    }                                                                       \
+  } while (false)
+
+/// Bounds checks on inner-loop hot paths; compiled out unless
+/// AGCM_BOUNDS_CHECK is defined (tests define it, benches don't).
+#ifdef AGCM_BOUNDS_CHECK
+#define AGCM_DBG_ASSERT(expr) AGCM_ASSERT(expr)
+#else
+#define AGCM_DBG_ASSERT(expr) \
+  do {                        \
+  } while (false)
+#endif

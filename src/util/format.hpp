@@ -1,0 +1,48 @@
+// Minimal "{}" string formatting (std::format is unavailable on GCC 12,
+// the oldest toolchain we support). Supports only the plain `{}`
+// placeholder; numeric precision formatting goes through fixed() below.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace agcm {
+
+namespace detail {
+inline void format_one(std::ostringstream&, std::string_view&) {}
+
+template <typename T, typename... Rest>
+void format_one(std::ostringstream& out, std::string_view& fmt, const T& head,
+                const Rest&... rest) {
+  const auto pos = fmt.find("{}");
+  if (pos == std::string_view::npos) {
+    out << fmt;
+    fmt = {};
+    return;
+  }
+  out << fmt.substr(0, pos) << head;
+  fmt.remove_prefix(pos + 2);
+  format_one(out, fmt, rest...);
+}
+}  // namespace detail
+
+/// Replaces successive "{}" placeholders with the streamed arguments.
+/// Extra placeholders are emitted verbatim; extra arguments are dropped.
+template <typename... Args>
+std::string strformat(std::string_view fmt, const Args&... args) {
+  std::ostringstream out;
+  detail::format_one(out, fmt, args...);
+  out << fmt;
+  return out.str();
+}
+
+/// Fixed-point decimal with `precision` digits after the point.
+inline std::string fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace agcm

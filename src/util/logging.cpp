@@ -1,0 +1,38 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace agcm::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kInfo};
+
+const char* tag(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo:  return "INFO ";
+    case Level::kWarn:  return "WARN ";
+    case Level::kError: return "ERROR";
+    default:            return "?????";
+  }
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void emit(Level lvl, std::string_view msg) {
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line += "[agcm ";
+  line += tag(lvl);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace agcm::log

@@ -1,0 +1,39 @@
+// Minimal leveled logger. The parallel engine runs many ranks as threads, so
+// every emit is a single atomic write to stderr.
+#pragma once
+
+#include <string_view>
+
+#include "util/format.hpp"
+
+namespace agcm::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped. Thread-safe.
+void set_level(Level level);
+Level level();
+
+void emit(Level level, std::string_view msg);
+
+template <typename... Args>
+void debug(std::string_view fmt, const Args&... args) {
+  if (level() <= Level::kDebug) emit(Level::kDebug, strformat(fmt, args...));
+}
+
+template <typename... Args>
+void info(std::string_view fmt, const Args&... args) {
+  if (level() <= Level::kInfo) emit(Level::kInfo, strformat(fmt, args...));
+}
+
+template <typename... Args>
+void warn(std::string_view fmt, const Args&... args) {
+  if (level() <= Level::kWarn) emit(Level::kWarn, strformat(fmt, args...));
+}
+
+template <typename... Args>
+void error(std::string_view fmt, const Args&... args) {
+  if (level() <= Level::kError) emit(Level::kError, strformat(fmt, args...));
+}
+
+}  // namespace agcm::log

@@ -1,0 +1,115 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace agcm {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double load_imbalance(std::span<const double> loads) {
+  if (loads.empty()) return 0.0;
+  const double avg = mean(loads);
+  if (avg == 0.0) return 0.0;
+  return (max_value(loads) - avg) / avg;
+}
+
+double load_efficiency(std::span<const double> loads) {
+  if (loads.empty()) return 1.0;
+  const double mx = max_value(loads);
+  if (mx == 0.0) return 1.0;
+  return mean(loads) / mx;
+}
+
+double percentile(std::span<const double> values, double q) {
+  AGCM_ASSERT(!values.empty());
+  AGCM_ASSERT(q >= 0.0 && q <= 100.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return sum(values) / static_cast<double>(values.size());
+}
+
+double sum(std::span<const double> values) {
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total;
+}
+
+double max_value(std::span<const double> values) {
+  AGCM_ASSERT(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+double min_value(std::span<const double> values) {
+  AGCM_ASSERT(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  AGCM_ASSERT(a.size() == b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+double rel_l2_error(std::span<const double> a, std::span<const double> b) {
+  AGCM_ASSERT(a.size() == b.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    num += d * d;
+    den += b[i] * b[i];
+  }
+  if (den == 0.0) return std::sqrt(num);
+  return std::sqrt(num / den);
+}
+
+}  // namespace agcm

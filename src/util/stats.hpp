@@ -1,0 +1,56 @@
+// Statistics helpers shared by the load-balancing modules and the benchmark
+// harness: running moments, percentiles, and the paper's load-imbalance
+// metric.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace agcm {
+
+/// Single-pass running mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< population variance; 0 when count < 2
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// The paper's imbalance metric (Section 3.4):
+///   (MaxLoad - AverageLoad) / AverageLoad
+/// Returns 0 for empty input or zero average load.
+double load_imbalance(std::span<const double> loads);
+
+/// Parallel efficiency of a load distribution: AverageLoad / MaxLoad.
+double load_efficiency(std::span<const double> loads);
+
+/// Linear-interpolated percentile; `q` in [0, 100]. Copies + sorts.
+double percentile(std::span<const double> values, double q);
+
+double mean(std::span<const double> values);
+double sum(std::span<const double> values);
+double max_value(std::span<const double> values);
+double min_value(std::span<const double> values);
+
+/// Max absolute difference between two equal-length sequences.
+double max_abs_diff(std::span<const double> a, std::span<const double> b);
+
+/// Relative L2 error ||a-b|| / ||b|| (0 if both empty; ||a|| if ||b||==0).
+double rel_l2_error(std::span<const double> a, std::span<const double> b);
+
+}  // namespace agcm

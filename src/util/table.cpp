@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/format.hpp"
+
+namespace agcm {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  while (cells.size() < headers_.size()) cells.emplace_back();
+  while (headers_.size() < cells.size()) headers_.emplace_back();
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  return fixed(value, precision);
+}
+
+std::string Table::paper_vs(double paper, double measured, int precision) {
+  return fixed(paper, precision) + " / " + fixed(measured, precision);
+}
+
+std::string Table::pct(double fraction, int precision) {
+  return fixed(100.0 * fraction, precision) + "%";
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    out += '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out += ' ';
+      out.append(widths[c] - cell.size(), ' ');
+      out += cell;
+      out += " |";
+    }
+    out += '\n';
+  };
+
+  std::string sep = "+";
+  for (std::size_t w : widths) {
+    sep.append(w + 2, '-');
+    sep += '+';
+  }
+  sep += '\n';
+
+  std::string out;
+  out += title_;
+  out += '\n';
+  out += sep;
+  emit_row(headers_, out);
+  out += sep;
+  for (const auto& row : rows_) emit_row(row, out);
+  out += sep;
+  return out;
+}
+
+void print_table(const Table& table) {
+  const std::string body = table.render() + "\n";
+  std::fwrite(body.data(), 1, body.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace agcm

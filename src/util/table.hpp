@@ -1,0 +1,44 @@
+// Text-table rendering for the benchmark harness.
+//
+// Every bench binary reprints one of the paper's tables with a "paper" and a
+// "measured" value per cell, so readers can compare shapes line by line.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace agcm {
+
+/// A right-aligned text table with a title, column headers, and string cells.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers);
+
+  /// Appends one row; pads or throws nothing if sizes differ (short rows are
+  /// padded with empty cells, long rows extend the header with blanks).
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` digits after the point.
+  static std::string num(double value, int precision = 1);
+  /// "123.4 / 120.9" style paper-vs-measured cell.
+  static std::string paper_vs(double paper, double measured, int precision = 1);
+  /// Percentage cell, e.g. "37%".
+  static std::string pct(double fraction, int precision = 0);
+
+  /// Renders the full table, trailing newline included.
+  std::string render() const;
+
+  const std::string& title() const { return title_; }
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints to stdout (single write).
+void print_table(const Table& table);
+
+}  // namespace agcm

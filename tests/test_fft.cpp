@@ -1,0 +1,196 @@
+// Tests for the FFT library: parameterized round-trip and reference-DFT
+// equivalence over many lengths (all prime factorisations), the convolution
+// theorem, and real-line helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "fft/dft_ref.hpp"
+#include "fft/fft.hpp"
+#include "util/rng.hpp"
+
+namespace agcm::fft {
+namespace {
+
+std::vector<Complex> random_signal(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  return x;
+}
+
+double max_err(std::span<const Complex> a, std::span<const Complex> b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+TEST(PrimeFactors, KnownFactorisations) {
+  EXPECT_EQ(prime_factors(1), std::vector<int>{});
+  EXPECT_EQ(prime_factors(2), std::vector<int>{2});
+  EXPECT_EQ(prime_factors(144), (std::vector<int>{2, 2, 2, 2, 3, 3}));
+  EXPECT_EQ(prime_factors(30), (std::vector<int>{2, 3, 5}));
+  EXPECT_EQ(prime_factors(97), std::vector<int>{97});
+  EXPECT_EQ(prime_factors(49), (std::vector<int>{7, 7}));
+}
+
+class FftLengthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftLengthSweep, MatchesReferenceDft) {
+  const int n = GetParam();
+  const FftPlan plan(n);
+  auto x = random_signal(n, 100 + static_cast<std::uint64_t>(n));
+  const auto expected = dft(x);
+  plan.forward(x);
+  EXPECT_LT(max_err(x, expected), 1e-9 * n) << "n=" << n;
+}
+
+TEST_P(FftLengthSweep, ForwardInverseIsIdentity) {
+  const int n = GetParam();
+  const FftPlan plan(n);
+  const auto original = random_signal(n, 200 + static_cast<std::uint64_t>(n));
+  auto x = original;
+  plan.forward(x);
+  plan.inverse(x);
+  EXPECT_LT(max_err(x, original), 1e-10 * n) << "n=" << n;
+}
+
+TEST_P(FftLengthSweep, LinearityHolds) {
+  const int n = GetParam();
+  const FftPlan plan(n);
+  auto a = random_signal(n, 300);
+  auto b = random_signal(n, 301);
+  std::vector<Complex> sum(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) sum[i] = 2.0 * a[i] + b[i];
+  plan.forward(a);
+  plan.forward(b);
+  plan.forward(sum);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_LT(std::abs(sum[i] - (2.0 * a[i] + b[i])), 1e-9 * n);
+}
+
+// 144 is the paper's grid length; the rest cover every code path: powers of
+// two, powers of three, 2*3*5 mixes, a prime, and a prime square.
+INSTANTIATE_TEST_SUITE_P(Lengths, FftLengthSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 9, 12, 16, 27,
+                                           30, 45, 60, 64, 97, 120, 144, 180,
+                                           240, 49));
+
+TEST(Fft, DeltaTransformsToConstant) {
+  const int n = 16;
+  const FftPlan plan(n);
+  std::vector<Complex> x(n, Complex{0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  plan.forward(x);
+  for (const auto& v : x) EXPECT_LT(std::abs(v - Complex{1.0, 0.0}), 1e-12);
+}
+
+TEST(Fft, SingleModeLandsInOneBin) {
+  const int n = 144;
+  const FftPlan plan(n);
+  const int s = 5;
+  std::vector<Complex> x(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const double angle = 2.0 * std::numbers::pi * s * j / n;
+    x[static_cast<std::size_t>(j)] = {std::cos(angle), std::sin(angle)};
+  }
+  plan.forward(x);
+  for (int k = 0; k < n; ++k) {
+    const double expected = k == s ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(x[static_cast<std::size_t>(k)]), expected, 1e-8);
+  }
+}
+
+TEST(Fft, RealRoundTrip) {
+  const int n = 144;
+  const FftPlan plan(n);
+  Rng rng(7);
+  std::vector<double> line(static_cast<std::size_t>(n));
+  for (double& v : line) v = rng.uniform(-3.0, 3.0);
+  auto spectrum = plan.forward_real(line);
+  // Conjugate symmetry of a real signal's spectrum.
+  for (int s = 1; s < n; ++s)
+    EXPECT_LT(std::abs(spectrum[static_cast<std::size_t>(s)] -
+                       std::conj(spectrum[static_cast<std::size_t>(n - s)])),
+              1e-9);
+  std::vector<double> back(line.size());
+  plan.inverse_to_real(spectrum, back);
+  for (std::size_t i = 0; i < line.size(); ++i)
+    EXPECT_NEAR(back[i], line[i], 1e-10);
+}
+
+TEST(Fft, RealPairMatchesTwoSingleTransforms) {
+  const int n = 144;
+  const FftPlan plan(n);
+  Rng rng(21);
+  std::vector<double> x(static_cast<std::size_t>(n)), y(x.size());
+  for (double& v : x) v = rng.uniform(-2.0, 2.0);
+  for (double& v : y) v = rng.uniform(-2.0, 2.0);
+  const auto sx_ref = plan.forward_real(x);
+  const auto sy_ref = plan.forward_real(y);
+  std::vector<Complex> sx(x.size()), sy(y.size());
+  plan.forward_real_pair(x, y, sx, sy);
+  EXPECT_LT(max_err(sx, sx_ref), 1e-10);
+  EXPECT_LT(max_err(sy, sy_ref), 1e-10);
+}
+
+TEST(Fft, RealPairRoundTrip) {
+  const int n = 60;
+  const FftPlan plan(n);
+  Rng rng(22);
+  std::vector<double> x(static_cast<std::size_t>(n)), y(x.size());
+  for (double& v : x) v = rng.uniform(-2.0, 2.0);
+  for (double& v : y) v = rng.uniform(-2.0, 2.0);
+  std::vector<Complex> sx(x.size()), sy(y.size());
+  plan.forward_real_pair(x, y, sx, sy);
+  std::vector<double> x2(x.size()), y2(y.size());
+  plan.inverse_to_real_pair(sx, sy, x2, y2);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x2[i], x[i], 1e-10);
+    EXPECT_NEAR(y2[i], y[i], 1e-10);
+  }
+}
+
+TEST(Dft, InverseOfForward) {
+  auto x = random_signal(20, 5);
+  const auto back = idft(dft(x));
+  EXPECT_LT(max_err(back, x), 1e-10);
+}
+
+TEST(Convolution, TheoremHolds) {
+  // DFT(a (*) b) == DFT(a) .* DFT(b) — the identity the paper exploits to
+  // replace convolution filtering with FFT filtering.
+  const int n = 36;
+  Rng rng(9);
+  std::vector<double> a(static_cast<std::size_t>(n)), b(a.size());
+  for (double& v : a) v = rng.uniform(-1.0, 1.0);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  const auto conv = circular_convolution(a, b);
+
+  const FftPlan plan(n);
+  auto sa = plan.forward_real(a);
+  const auto sb = plan.forward_real(b);
+  for (std::size_t i = 0; i < sa.size(); ++i) sa[i] *= sb[i];
+  std::vector<double> via_fft(a.size());
+  plan.inverse_to_real(sa, via_fft);
+  for (std::size_t i = 0; i < conv.size(); ++i)
+    EXPECT_NEAR(via_fft[i], conv[i], 1e-10);
+}
+
+TEST(Convolution, DeltaKernelIsIdentity) {
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> delta{1.0, 0.0, 0.0, 0.0};
+  const auto out = circular_convolution(a, delta);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(out[i], a[i]);
+}
+
+TEST(FlopModels, MonotoneAndOrdered) {
+  EXPECT_GT(dft_flops(144), fft::FftPlan(144).flops());
+  EXPECT_GT(convolution_flops(288), convolution_flops(144));
+  EXPECT_GT(FftPlan(288).flops(), FftPlan(144).flops());
+}
+
+}  // namespace
+}  // namespace agcm::fft

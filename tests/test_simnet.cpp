@@ -1,0 +1,224 @@
+// Tests for the virtual multicomputer: clock arithmetic, transport
+// semantics, determinism, and failure injection.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "simnet/machine.hpp"
+#include "util/error.hpp"
+
+namespace agcm::simnet {
+namespace {
+
+std::span<const std::byte> as_bytes(const std::vector<double>& v) {
+  return std::as_bytes(std::span<const double>(v));
+}
+
+TEST(MachineProfile, ComputeTimeScalesWithRateAndEfficiency) {
+  MachineProfile p = MachineProfile::ideal();  // 1 flop/s
+  EXPECT_DOUBLE_EQ(p.compute_time(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.compute_time(10.0, 0.5), 20.0);
+}
+
+TEST(MachineProfile, EfficiencyIsClamped) {
+  MachineProfile p = MachineProfile::ideal();
+  EXPECT_DOUBLE_EQ(p.compute_time(1.0, 5.0), 1.0);      // clamped to 1
+  EXPECT_DOUBLE_EQ(p.compute_time(1.0, 0.0), 1000.0);   // clamped to 1e-3
+}
+
+TEST(MachineProfile, TransferTime) {
+  MachineProfile p;
+  p.msg_latency_sec = 1.0e-3;
+  p.link_bytes_per_sec = 1.0e6;
+  EXPECT_DOUBLE_EQ(p.transfer_time(1.0e6), 1.0e-3 + 1.0);
+}
+
+TEST(MachineProfile, T3dFasterThanParagon) {
+  const auto paragon = MachineProfile::intel_paragon();
+  const auto t3d = MachineProfile::cray_t3d();
+  EXPECT_GT(t3d.flops_per_sec, paragon.flops_per_sec);
+  EXPECT_LT(t3d.msg_latency_sec, paragon.msg_latency_sec);
+}
+
+TEST(MachineProfile, LoopEfficiencyModel) {
+  MachineProfile p;
+  p.loop_startup_elems = 8.0;
+  EXPECT_DOUBLE_EQ(p.loop_efficiency(8.0), 0.5);
+  EXPECT_NEAR(p.loop_efficiency(144.0), 144.0 / 152.0, 1e-12);
+  // Monotone increasing toward 1.
+  EXPECT_LT(p.loop_efficiency(4.0), p.loop_efficiency(16.0));
+  EXPECT_LT(p.loop_efficiency(16.0), 1.0);
+  // No startup cost => always 1.
+  p.loop_startup_elems = 0.0;
+  EXPECT_DOUBLE_EQ(p.loop_efficiency(3.0), 1.0);
+}
+
+TEST(MachineProfile, ShortLoopsHurtParagonMoreThanT3d) {
+  const auto paragon = MachineProfile::intel_paragon();
+  const auto t3d = MachineProfile::cray_t3d();
+  EXPECT_LT(paragon.loop_efficiency(5.0), t3d.loop_efficiency(5.0));
+}
+
+TEST(VirtualClock, ComputeAdvancesAndAccumulates) {
+  const MachineProfile p = MachineProfile::ideal();
+  VirtualClock clock(p);
+  clock.compute(5.0);
+  clock.compute(2.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 7.0);
+  EXPECT_DOUBLE_EQ(clock.breakdown().compute, 7.0);
+  EXPECT_DOUBLE_EQ(clock.breakdown().wait, 0.0);
+}
+
+TEST(VirtualClock, ArrivalInFutureRecordsWait) {
+  const MachineProfile p = MachineProfile::ideal();
+  VirtualClock clock(p);
+  clock.compute(1.0);
+  clock.apply_arrival(4.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 4.0);  // zero recv overhead on ideal
+  EXPECT_DOUBLE_EQ(clock.breakdown().wait, 3.0);
+}
+
+TEST(VirtualClock, ArrivalInPastIsFree) {
+  const MachineProfile p = MachineProfile::ideal();
+  VirtualClock clock(p);
+  clock.compute(10.0);
+  clock.apply_arrival(4.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 10.0);
+  EXPECT_DOUBLE_EQ(clock.breakdown().wait, 0.0);
+}
+
+TEST(VirtualClock, WaitUntil) {
+  VirtualClock clock(MachineProfile::ideal());
+  clock.wait_until(3.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 3.0);
+  clock.wait_until(1.0);  // no-op
+  EXPECT_DOUBLE_EQ(clock.now(), 3.0);
+}
+
+TEST(Mailbox, FifoPerChannel) {
+  Mailbox box;
+  box.push({{std::byte{1}}, 0.0, /*src=*/0, /*tag=*/7});
+  box.push({{std::byte{2}}, 0.0, 0, 7});
+  EXPECT_EQ(box.pop(0, 7, 1000).payload[0], std::byte{1});
+  EXPECT_EQ(box.pop(0, 7, 1000).payload[0], std::byte{2});
+}
+
+TEST(Mailbox, ChannelsAreIndependent) {
+  Mailbox box;
+  box.push({{std::byte{9}}, 0.0, 1, 5});
+  box.push({{std::byte{8}}, 0.0, 2, 5});
+  EXPECT_EQ(box.pop(2, 5, 1000).payload[0], std::byte{8});
+  EXPECT_EQ(box.pop(1, 5, 1000).payload[0], std::byte{9});
+}
+
+TEST(Mailbox, TimeoutThrowsCommError) {
+  Mailbox box;
+  EXPECT_THROW(box.pop(0, 0, 50), CommError);
+}
+
+TEST(Machine, RunsAllRanks) {
+  Machine machine(MachineProfile::ideal());
+  std::vector<int> hits(8, 0);
+  machine.run(8, [&](RankContext& ctx) { hits[static_cast<std::size_t>(ctx.rank())] = 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Machine, PingPongTransfersDataAndTime) {
+  MachineProfile p = MachineProfile::ideal();
+  p.msg_latency_sec = 2.0;
+  Machine machine(p);
+  const auto result = machine.run(2, [&](RankContext& ctx) {
+    std::vector<double> payload{1.5, 2.5};
+    if (ctx.rank() == 0) {
+      ctx.clock().compute(5.0);  // rank 0 is busy before sending
+      ctx.send_bytes(1, 3, as_bytes(payload));
+    } else {
+      const auto bytes = ctx.recv_bytes(0, 3);
+      ASSERT_EQ(bytes.size(), 2 * sizeof(double));
+      double values[2];
+      std::memcpy(values, bytes.data(), sizeof(values));
+      EXPECT_DOUBLE_EQ(values[0], 1.5);
+      EXPECT_DOUBLE_EQ(values[1], 2.5);
+    }
+  });
+  // Receiver time = sender depart (5.0) + latency (2.0) + ~0 serialisation.
+  EXPECT_NEAR(result.finish_times[1], 7.0, 1e-9);
+  EXPECT_DOUBLE_EQ(result.breakdowns[1].wait, 7.0);
+  EXPECT_EQ(result.total_messages, 1u);
+  EXPECT_EQ(result.total_bytes, 2 * sizeof(double));
+}
+
+TEST(Machine, VirtualTimeIsDeterministicAcrossRuns) {
+  MachineProfile p = MachineProfile::intel_paragon();
+  Machine machine(p);
+  auto program = [&](RankContext& ctx) {
+    // Irregular compute + ring communication; host scheduling varies but
+    // virtual time must not.
+    ctx.clock().compute(1000.0 * (ctx.rank() + 1));
+    const int next = (ctx.rank() + 1) % ctx.nranks();
+    const int prev = (ctx.rank() + ctx.nranks() - 1) % ctx.nranks();
+    std::vector<double> data(64, ctx.rank());
+    ctx.send_bytes(next, 1, as_bytes(data));
+    (void)ctx.recv_bytes(prev, 1);
+  };
+  const auto r1 = machine.run(5, program);
+  const auto r2 = machine.run(5, program);
+  for (int r = 0; r < 5; ++r)
+    EXPECT_DOUBLE_EQ(r1.finish_times[static_cast<std::size_t>(r)],
+                     r2.finish_times[static_cast<std::size_t>(r)]);
+}
+
+TEST(Machine, ExceptionInRankPropagates) {
+  Machine machine(MachineProfile::ideal());
+  machine.set_recv_timeout_ms(100);
+  EXPECT_THROW(machine.run(2,
+                           [](RankContext& ctx) {
+                             if (ctx.rank() == 0) throw DataError("boom");
+                             // rank 1 exits normally
+                           }),
+               DataError);
+}
+
+TEST(Machine, RecvTimeoutSurfacesAsCommError) {
+  Machine machine(MachineProfile::ideal());
+  machine.set_recv_timeout_ms(100);
+  EXPECT_THROW(
+      machine.run(2,
+                  [](RankContext& ctx) {
+                    if (ctx.rank() == 0) {
+                      (void)ctx.recv_bytes(1, 9);  // never sent: deadlock
+                    }
+                  }),
+      CommError);
+}
+
+TEST(Machine, SendToInvalidRankThrows) {
+  Machine machine(MachineProfile::ideal());
+  EXPECT_THROW(machine.run(1,
+                           [](RankContext& ctx) {
+                             std::byte b{0};
+                             ctx.send_bytes(5, 0, {&b, 1});
+                           }),
+               CommError);
+}
+
+TEST(Machine, MakespanIsMaxFinishTime) {
+  Machine machine(MachineProfile::ideal());
+  const auto result = machine.run(3, [](RankContext& ctx) {
+    ctx.clock().compute(static_cast<double>(ctx.rank()) * 10.0);
+  });
+  EXPECT_DOUBLE_EQ(result.makespan(), 20.0);
+}
+
+TEST(Machine, MemoryTrafficUsesBandwidth) {
+  MachineProfile p = MachineProfile::ideal();
+  p.mem_bytes_per_sec = 100.0;
+  Machine machine(p);
+  const auto result = machine.run(1, [](RankContext& ctx) {
+    ctx.clock().memory_traffic(50.0);
+  });
+  EXPECT_DOUBLE_EQ(result.finish_times[0], 0.5);
+}
+
+}  // namespace
+}  // namespace agcm::simnet

@@ -1,0 +1,180 @@
+// Tests for the single-node optimization kernels (Section 3.4): layout
+// equivalence for the stencil experiment, the pointwise vector-multiply
+// variants, the mini-BLAS routines, and the virtual cache model's anchors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "singlenode/miniblas.hpp"
+#include "singlenode/pointwise.hpp"
+#include "singlenode/stencil.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace agcm::singlenode {
+namespace {
+
+using simnet::MachineProfile;
+
+class StencilSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};  // (m, n)
+
+TEST_P(StencilSweep, LayoutsComputeIdenticalSums) {
+  const auto [m, n] = GetParam();
+  const SeparateFields sep(m, n);
+  const BlockFields block = BlockFields::from_separate(sep);
+  std::vector<double> out_sep, out_block;
+  laplace_sum_separate(sep, out_sep);
+  laplace_sum_block(block, out_block);
+  ASSERT_EQ(out_sep.size(), out_block.size());
+  // Same arithmetic, different accumulation order across fields.
+  EXPECT_LT(max_abs_diff(out_sep, out_block), 1e-11 * m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, StencilSweep,
+                         ::testing::Values(std::pair{1, 8}, std::pair{4, 8},
+                                           std::pair{12, 8}, std::pair{3, 16},
+                                           std::pair{12, 16},
+                                           std::pair{7, 12}));
+
+TEST(Stencil, LaplaceOfConstantIsZero) {
+  SeparateFields sep(3, 8);
+  for (auto& f : sep.fields)
+    for (double& v : f) v = 4.2;
+  std::vector<double> out;
+  laplace_sum_separate(sep, out);
+  for (double v : out) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(Stencil, VirtualModelReproducesPaperRatios) {
+  // "a speed-up a factor of 5 over the use of separate arrays on the Intel
+  // Paragon, and a speed-up factor of 2.6 was achieved on Cray T3D" at
+  // 32^3 with about a dozen fields.
+  const int m = 12, n = 32;
+  const auto paragon = MachineProfile::intel_paragon();
+  const auto t3d = MachineProfile::cray_t3d();
+  const double ratio_paragon = stencil_virtual_time_separate(paragon, m, n) /
+                               stencil_virtual_time_block(paragon, m, n);
+  const double ratio_t3d = stencil_virtual_time_separate(t3d, m, n) /
+                           stencil_virtual_time_block(t3d, m, n);
+  EXPECT_NEAR(ratio_paragon, 5.0, 0.5);
+  EXPECT_NEAR(ratio_t3d, 2.6, 0.3);
+}
+
+TEST(Stencil, SmallWorkingSetsShowNoLayoutGap) {
+  // When everything fits in cache both layouts run at ~full efficiency.
+  const auto paragon = MachineProfile::intel_paragon();
+  const double sep = stencil_cache_efficiency_separate(paragon, 2, 4);
+  const double block = stencil_cache_efficiency_block(paragon, 2, 4);
+  EXPECT_GT(sep, 0.75);
+  EXPECT_GT(block, 0.75);
+}
+
+TEST(Stencil, EfficiencyDegradesMonotonicallyWithFields) {
+  const auto paragon = MachineProfile::intel_paragon();
+  double prev = 1.0;
+  for (int m : {1, 2, 4, 8, 16, 32}) {
+    const double eff = stencil_cache_efficiency_separate(paragon, m, 32);
+    EXPECT_LE(eff, prev + 1e-12);
+    prev = eff;
+  }
+}
+
+TEST(Stencil, FlopModelMatchesDefinition) {
+  EXPECT_DOUBLE_EQ(laplace_sum_flops(3, 4), 8.0 * 3 * 64);
+}
+
+// --- pointwise vector-multiply ----------------------------------------------
+
+class PointwiseSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};  // (n, m)
+
+TEST_P(PointwiseSweep, AllVariantsAgree) {
+  const auto [n, m] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 131 + m));
+  std::vector<double> a(static_cast<std::size_t>(n)), b(static_cast<std::size_t>(m));
+  for (double& v : a) v = rng.uniform(-2.0, 2.0);
+  for (double& v : b) v = rng.uniform(-2.0, 2.0);
+  std::vector<double> o1(a.size()), o2(a.size()), o3(a.size());
+  pointwise_multiply_naive(a, b, o1);
+  pointwise_multiply_tiled(a, b, o2);
+  pointwise_multiply_unrolled(a, b, o3);
+  EXPECT_DOUBLE_EQ(max_abs_diff(o1, o2), 0.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(o1, o3), 0.0);
+  // Spot-check the defining formula (equation (4)).
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(o1[i], a[i] * b[i % static_cast<std::size_t>(m)]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PointwiseSweep,
+                         ::testing::Values(std::pair{16, 4}, std::pair{64, 8},
+                                           std::pair{144, 9},
+                                           std::pair{144, 144},
+                                           std::pair{100, 5},
+                                           std::pair{12, 1},
+                                           std::pair{21, 7}));
+
+TEST(Pointwise, RejectsIndivisibleLengths) {
+  std::vector<double> a(10), b(3), out(10);
+  EXPECT_THROW(pointwise_multiply_naive(a, b, out), ConfigError);
+}
+
+TEST(Pointwise, RejectsEmptyB) {
+  std::vector<double> a(4), b, out(4);
+  EXPECT_THROW(pointwise_multiply_tiled(a, b, out), ConfigError);
+}
+
+TEST(Pointwise, RejectsWrongOutputSize) {
+  std::vector<double> a(4), b(2), out(3);
+  EXPECT_THROW(pointwise_multiply_unrolled(a, b, out), ConfigError);
+}
+
+// --- mini-BLAS ---------------------------------------------------------------
+
+class BlasSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlasSweep, PlainAndUnrolledAgree) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) + 1);
+  std::vector<double> x(static_cast<std::size_t>(n)), y0(x.size()), y1(x.size());
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  for (std::size_t i = 0; i < y0.size(); ++i) y0[i] = y1[i] = rng.uniform();
+
+  std::vector<double> c0(x.size()), c1(x.size());
+  dcopy(x, c0);
+  dcopy_unrolled(x, c1);
+  EXPECT_DOUBLE_EQ(max_abs_diff(c0, c1), 0.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(c0, x), 0.0);
+
+  auto s0 = x, s1 = x;
+  dscal(1.7, s0);
+  dscal_unrolled(1.7, s1);
+  EXPECT_DOUBLE_EQ(max_abs_diff(s0, s1), 0.0);
+
+  daxpy(0.3, x, y0);
+  daxpy_unrolled(0.3, x, y1);
+  EXPECT_DOUBLE_EQ(max_abs_diff(y0, y1), 0.0);
+
+  // ddot's unrolled version uses 4 accumulators: allow rounding slack.
+  EXPECT_NEAR(ddot(x, y0), ddot_unrolled(x, y0), 1e-10 * n + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BlasSweep,
+                         ::testing::Values(0, 1, 3, 4, 5, 16, 17, 1000));
+
+TEST(Blas, DaxpyMatchesDefinition) {
+  std::vector<double> x{1.0, 2.0}, y{10.0, 20.0};
+  daxpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(Blas, DdotOrthogonalVectors) {
+  std::vector<double> x{1.0, 0.0, -1.0, 0.0}, y{0.0, 2.0, 0.0, 5.0};
+  EXPECT_DOUBLE_EQ(ddot(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(ddot_unrolled(x, y), 0.0);
+}
+
+}  // namespace
+}  // namespace agcm::singlenode
