@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_pointwise_vm.cpp" "bench-build/CMakeFiles/bench_pointwise_vm.dir/bench_pointwise_vm.cpp.o" "gcc" "bench-build/CMakeFiles/bench_pointwise_vm.dir/bench_pointwise_vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/singlenode/CMakeFiles/agcm_singlenode.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/agcm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/agcm_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/agcm_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/agcm_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

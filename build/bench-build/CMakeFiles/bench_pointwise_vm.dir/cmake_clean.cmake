@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pointwise_vm"
+  "../bench/bench_pointwise_vm.pdb"
+  "CMakeFiles/bench_pointwise_vm.dir/bench_pointwise_vm.cpp.o"
+  "CMakeFiles/bench_pointwise_vm.dir/bench_pointwise_vm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pointwise_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tables1_3_physics_lb"
+  "../bench/bench_tables1_3_physics_lb.pdb"
+  "CMakeFiles/bench_tables1_3_physics_lb.dir/bench_tables1_3_physics_lb.cpp.o"
+  "CMakeFiles/bench_tables1_3_physics_lb.dir/bench_tables1_3_physics_lb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables1_3_physics_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

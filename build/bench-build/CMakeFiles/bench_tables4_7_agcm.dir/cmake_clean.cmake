@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tables4_7_agcm"
+  "../bench/bench_tables4_7_agcm.pdb"
+  "CMakeFiles/bench_tables4_7_agcm.dir/bench_tables4_7_agcm.cpp.o"
+  "CMakeFiles/bench_tables4_7_agcm.dir/bench_tables4_7_agcm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables4_7_agcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tables4_7_agcm.
+# This may be replaced when dependencies are built.

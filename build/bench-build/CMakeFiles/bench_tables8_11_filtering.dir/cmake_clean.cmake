@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tables8_11_filtering"
+  "../bench/bench_tables8_11_filtering.pdb"
+  "CMakeFiles/bench_tables8_11_filtering.dir/bench_tables8_11_filtering.cpp.o"
+  "CMakeFiles/bench_tables8_11_filtering.dir/bench_tables8_11_filtering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables8_11_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

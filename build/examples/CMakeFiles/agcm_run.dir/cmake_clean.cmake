@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agcm_run.dir/agcm_run.cpp.o"
+  "CMakeFiles/agcm_run.dir/agcm_run.cpp.o.d"
+  "agcm_run"
+  "agcm_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agcm_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_simulation.dir/climate_simulation.cpp.o"
+  "CMakeFiles/climate_simulation.dir/climate_simulation.cpp.o.d"
+  "climate_simulation"
+  "climate_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

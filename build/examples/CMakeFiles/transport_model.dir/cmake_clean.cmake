@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_model.dir/transport_model.cpp.o"
+  "CMakeFiles/transport_model.dir/transport_model.cpp.o.d"
+  "transport_model"
+  "transport_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agcm_comm.dir/communicator.cpp.o"
+  "CMakeFiles/agcm_comm.dir/communicator.cpp.o.d"
+  "CMakeFiles/agcm_comm.dir/mesh2d.cpp.o"
+  "CMakeFiles/agcm_comm.dir/mesh2d.cpp.o.d"
+  "libagcm_comm.a"
+  "libagcm_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agcm_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

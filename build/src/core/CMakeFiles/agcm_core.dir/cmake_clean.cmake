@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agcm_core.dir/model.cpp.o"
+  "CMakeFiles/agcm_core.dir/model.cpp.o.d"
+  "libagcm_core.a"
+  "libagcm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agcm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

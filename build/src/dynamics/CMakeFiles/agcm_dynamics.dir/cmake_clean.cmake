@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agcm_dynamics.dir/advection.cpp.o"
+  "CMakeFiles/agcm_dynamics.dir/advection.cpp.o.d"
+  "CMakeFiles/agcm_dynamics.dir/dynamics.cpp.o"
+  "CMakeFiles/agcm_dynamics.dir/dynamics.cpp.o.d"
+  "CMakeFiles/agcm_dynamics.dir/state.cpp.o"
+  "CMakeFiles/agcm_dynamics.dir/state.cpp.o.d"
+  "libagcm_dynamics.a"
+  "libagcm_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agcm_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agcm_fft.dir/dft_ref.cpp.o"
+  "CMakeFiles/agcm_fft.dir/dft_ref.cpp.o.d"
+  "CMakeFiles/agcm_fft.dir/fft.cpp.o"
+  "CMakeFiles/agcm_fft.dir/fft.cpp.o.d"
+  "libagcm_fft.a"
+  "libagcm_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agcm_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filter/bank.cpp" "src/filter/CMakeFiles/agcm_filter.dir/bank.cpp.o" "gcc" "src/filter/CMakeFiles/agcm_filter.dir/bank.cpp.o.d"
+  "/root/repo/src/filter/conv_ring.cpp" "src/filter/CMakeFiles/agcm_filter.dir/conv_ring.cpp.o" "gcc" "src/filter/CMakeFiles/agcm_filter.dir/conv_ring.cpp.o.d"
+  "/root/repo/src/filter/conv_tree.cpp" "src/filter/CMakeFiles/agcm_filter.dir/conv_tree.cpp.o" "gcc" "src/filter/CMakeFiles/agcm_filter.dir/conv_tree.cpp.o.d"
+  "/root/repo/src/filter/fft_balanced.cpp" "src/filter/CMakeFiles/agcm_filter.dir/fft_balanced.cpp.o" "gcc" "src/filter/CMakeFiles/agcm_filter.dir/fft_balanced.cpp.o.d"
+  "/root/repo/src/filter/fft_transpose.cpp" "src/filter/CMakeFiles/agcm_filter.dir/fft_transpose.cpp.o" "gcc" "src/filter/CMakeFiles/agcm_filter.dir/fft_transpose.cpp.o.d"
+  "/root/repo/src/filter/implicit_zonal.cpp" "src/filter/CMakeFiles/agcm_filter.dir/implicit_zonal.cpp.o" "gcc" "src/filter/CMakeFiles/agcm_filter.dir/implicit_zonal.cpp.o.d"
+  "/root/repo/src/filter/parallel.cpp" "src/filter/CMakeFiles/agcm_filter.dir/parallel.cpp.o" "gcc" "src/filter/CMakeFiles/agcm_filter.dir/parallel.cpp.o.d"
+  "/root/repo/src/filter/plan.cpp" "src/filter/CMakeFiles/agcm_filter.dir/plan.cpp.o" "gcc" "src/filter/CMakeFiles/agcm_filter.dir/plan.cpp.o.d"
+  "/root/repo/src/filter/response.cpp" "src/filter/CMakeFiles/agcm_filter.dir/response.cpp.o" "gcc" "src/filter/CMakeFiles/agcm_filter.dir/response.cpp.o.d"
+  "/root/repo/src/filter/serial.cpp" "src/filter/CMakeFiles/agcm_filter.dir/serial.cpp.o" "gcc" "src/filter/CMakeFiles/agcm_filter.dir/serial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/agcm_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/agcm_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/linsolve/CMakeFiles/agcm_linsolve.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/agcm_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/agcm_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/agcm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agcm_filter.dir/bank.cpp.o"
+  "CMakeFiles/agcm_filter.dir/bank.cpp.o.d"
+  "CMakeFiles/agcm_filter.dir/conv_ring.cpp.o"
+  "CMakeFiles/agcm_filter.dir/conv_ring.cpp.o.d"
+  "CMakeFiles/agcm_filter.dir/conv_tree.cpp.o"
+  "CMakeFiles/agcm_filter.dir/conv_tree.cpp.o.d"
+  "CMakeFiles/agcm_filter.dir/fft_balanced.cpp.o"
+  "CMakeFiles/agcm_filter.dir/fft_balanced.cpp.o.d"
+  "CMakeFiles/agcm_filter.dir/fft_transpose.cpp.o"
+  "CMakeFiles/agcm_filter.dir/fft_transpose.cpp.o.d"
+  "CMakeFiles/agcm_filter.dir/implicit_zonal.cpp.o"
+  "CMakeFiles/agcm_filter.dir/implicit_zonal.cpp.o.d"
+  "CMakeFiles/agcm_filter.dir/parallel.cpp.o"
+  "CMakeFiles/agcm_filter.dir/parallel.cpp.o.d"
+  "CMakeFiles/agcm_filter.dir/plan.cpp.o"
+  "CMakeFiles/agcm_filter.dir/plan.cpp.o.d"
+  "CMakeFiles/agcm_filter.dir/response.cpp.o"
+  "CMakeFiles/agcm_filter.dir/response.cpp.o.d"
+  "CMakeFiles/agcm_filter.dir/serial.cpp.o"
+  "CMakeFiles/agcm_filter.dir/serial.cpp.o.d"
+  "libagcm_filter.a"
+  "libagcm_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agcm_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

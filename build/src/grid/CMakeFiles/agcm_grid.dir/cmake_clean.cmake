@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agcm_grid.dir/decomp.cpp.o"
+  "CMakeFiles/agcm_grid.dir/decomp.cpp.o.d"
+  "CMakeFiles/agcm_grid.dir/halo.cpp.o"
+  "CMakeFiles/agcm_grid.dir/halo.cpp.o.d"
+  "CMakeFiles/agcm_grid.dir/latlon.cpp.o"
+  "CMakeFiles/agcm_grid.dir/latlon.cpp.o.d"
+  "libagcm_grid.a"
+  "libagcm_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agcm_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

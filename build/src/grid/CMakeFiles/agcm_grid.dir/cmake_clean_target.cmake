@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libagcm_grid.a"
+)

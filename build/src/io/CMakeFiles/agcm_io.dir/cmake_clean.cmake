@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agcm_io.dir/config.cpp.o"
+  "CMakeFiles/agcm_io.dir/config.cpp.o.d"
+  "CMakeFiles/agcm_io.dir/history.cpp.o"
+  "CMakeFiles/agcm_io.dir/history.cpp.o.d"
+  "libagcm_io.a"
+  "libagcm_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agcm_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

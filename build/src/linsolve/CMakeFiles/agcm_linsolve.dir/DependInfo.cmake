@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linsolve/distributed.cpp" "src/linsolve/CMakeFiles/agcm_linsolve.dir/distributed.cpp.o" "gcc" "src/linsolve/CMakeFiles/agcm_linsolve.dir/distributed.cpp.o.d"
+  "/root/repo/src/linsolve/tridiag.cpp" "src/linsolve/CMakeFiles/agcm_linsolve.dir/tridiag.cpp.o" "gcc" "src/linsolve/CMakeFiles/agcm_linsolve.dir/tridiag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/agcm_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/agcm_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/agcm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

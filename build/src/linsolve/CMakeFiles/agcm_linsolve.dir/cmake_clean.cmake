@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agcm_linsolve.dir/distributed.cpp.o"
+  "CMakeFiles/agcm_linsolve.dir/distributed.cpp.o.d"
+  "CMakeFiles/agcm_linsolve.dir/tridiag.cpp.o"
+  "CMakeFiles/agcm_linsolve.dir/tridiag.cpp.o.d"
+  "libagcm_linsolve.a"
+  "libagcm_linsolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agcm_linsolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

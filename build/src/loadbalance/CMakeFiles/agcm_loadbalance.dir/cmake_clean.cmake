@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agcm_loadbalance.dir/exchange.cpp.o"
+  "CMakeFiles/agcm_loadbalance.dir/exchange.cpp.o.d"
+  "CMakeFiles/agcm_loadbalance.dir/planner.cpp.o"
+  "CMakeFiles/agcm_loadbalance.dir/planner.cpp.o.d"
+  "CMakeFiles/agcm_loadbalance.dir/schemes.cpp.o"
+  "CMakeFiles/agcm_loadbalance.dir/schemes.cpp.o.d"
+  "libagcm_loadbalance.a"
+  "libagcm_loadbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agcm_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agcm_physics.dir/column.cpp.o"
+  "CMakeFiles/agcm_physics.dir/column.cpp.o.d"
+  "CMakeFiles/agcm_physics.dir/physics.cpp.o"
+  "CMakeFiles/agcm_physics.dir/physics.cpp.o.d"
+  "libagcm_physics.a"
+  "libagcm_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agcm_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agcm_simnet.dir/machine.cpp.o"
+  "CMakeFiles/agcm_simnet.dir/machine.cpp.o.d"
+  "CMakeFiles/agcm_simnet.dir/machine_profile.cpp.o"
+  "CMakeFiles/agcm_simnet.dir/machine_profile.cpp.o.d"
+  "CMakeFiles/agcm_simnet.dir/network.cpp.o"
+  "CMakeFiles/agcm_simnet.dir/network.cpp.o.d"
+  "libagcm_simnet.a"
+  "libagcm_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agcm_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/singlenode/miniblas.cpp" "src/singlenode/CMakeFiles/agcm_singlenode.dir/miniblas.cpp.o" "gcc" "src/singlenode/CMakeFiles/agcm_singlenode.dir/miniblas.cpp.o.d"
+  "/root/repo/src/singlenode/pointwise.cpp" "src/singlenode/CMakeFiles/agcm_singlenode.dir/pointwise.cpp.o" "gcc" "src/singlenode/CMakeFiles/agcm_singlenode.dir/pointwise.cpp.o.d"
+  "/root/repo/src/singlenode/stencil.cpp" "src/singlenode/CMakeFiles/agcm_singlenode.dir/stencil.cpp.o" "gcc" "src/singlenode/CMakeFiles/agcm_singlenode.dir/stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/agcm_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/agcm_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/agcm_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/agcm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agcm_singlenode.dir/miniblas.cpp.o"
+  "CMakeFiles/agcm_singlenode.dir/miniblas.cpp.o.d"
+  "CMakeFiles/agcm_singlenode.dir/pointwise.cpp.o"
+  "CMakeFiles/agcm_singlenode.dir/pointwise.cpp.o.d"
+  "CMakeFiles/agcm_singlenode.dir/stencil.cpp.o"
+  "CMakeFiles/agcm_singlenode.dir/stencil.cpp.o.d"
+  "libagcm_singlenode.a"
+  "libagcm_singlenode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agcm_singlenode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agcm_util.dir/error.cpp.o"
+  "CMakeFiles/agcm_util.dir/error.cpp.o.d"
+  "CMakeFiles/agcm_util.dir/logging.cpp.o"
+  "CMakeFiles/agcm_util.dir/logging.cpp.o.d"
+  "CMakeFiles/agcm_util.dir/stats.cpp.o"
+  "CMakeFiles/agcm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/agcm_util.dir/table.cpp.o"
+  "CMakeFiles/agcm_util.dir/table.cpp.o.d"
+  "libagcm_util.a"
+  "libagcm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agcm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

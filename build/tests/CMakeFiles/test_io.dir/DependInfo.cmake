@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/test_io.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/test_io.dir/test_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/agcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/agcm_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/singlenode/CMakeFiles/agcm_singlenode.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/agcm_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamics/CMakeFiles/agcm_dynamics.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/agcm_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/loadbalance/CMakeFiles/agcm_loadbalance.dir/DependInfo.cmake"
+  "/root/repo/build/src/linsolve/CMakeFiles/agcm_linsolve.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/agcm_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/agcm_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/agcm_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/agcm_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/agcm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

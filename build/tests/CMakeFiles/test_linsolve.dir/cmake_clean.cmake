@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linsolve.dir/test_linsolve.cpp.o"
+  "CMakeFiles/test_linsolve.dir/test_linsolve.cpp.o.d"
+  "test_linsolve"
+  "test_linsolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linsolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_singlenode.dir/test_singlenode.cpp.o"
+  "CMakeFiles/test_singlenode.dir/test_singlenode.cpp.o.d"
+  "test_singlenode"
+  "test_singlenode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_singlenode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

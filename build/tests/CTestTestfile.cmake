@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_util "/root/repo/build/tests/test_util")
+set_tests_properties(test_util PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;13;agcm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_simnet "/root/repo/build/tests/test_simnet")
+set_tests_properties(test_simnet PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;14;agcm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_comm "/root/repo/build/tests/test_comm")
+set_tests_properties(test_comm PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;15;agcm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_grid "/root/repo/build/tests/test_grid")
+set_tests_properties(test_grid PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;16;agcm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fft "/root/repo/build/tests/test_fft")
+set_tests_properties(test_fft PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;17;agcm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_filter "/root/repo/build/tests/test_filter")
+set_tests_properties(test_filter PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;18;agcm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_linsolve "/root/repo/build/tests/test_linsolve")
+set_tests_properties(test_linsolve PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;19;agcm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_loadbalance "/root/repo/build/tests/test_loadbalance")
+set_tests_properties(test_loadbalance PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;20;agcm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_dynamics "/root/repo/build/tests/test_dynamics")
+set_tests_properties(test_dynamics PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;21;agcm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_physics "/root/repo/build/tests/test_physics")
+set_tests_properties(test_physics PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;22;agcm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_singlenode "/root/repo/build/tests/test_singlenode")
+set_tests_properties(test_singlenode PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;23;agcm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_io "/root/repo/build/tests/test_io")
+set_tests_properties(test_io PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;24;agcm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;25;agcm_test;/root/repo/tests/CMakeLists.txt;0;")
