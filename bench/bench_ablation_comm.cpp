@@ -90,7 +90,7 @@ void ring_vs_tree() {
                      Table::num(static_cast<double>(c.bytes) / 1.0e6, 2)});
     }
   }
-  print_table(table);
+  bench::emit_table(table);
   print_note(
       "Expected shape (Section 2): the ring needs ~(P-1) messages per node\n"
       "per variable but ships only chunk-sized payloads; the tree halves the\n"
@@ -111,7 +111,7 @@ void balanced_vs_plain() {
                    Table::num(lb.virtual_sec, 4),
                    Table::num(plain.virtual_sec / lb.virtual_sec, 2) + "x"});
   }
-  print_table(table);
+  bench::emit_table(table);
   print_note(
       "Expected shape: the gain grows with the number of processor rows —\n"
       "more equatorial rows idle without the Figure-2 redistribution.\n");
@@ -130,7 +130,7 @@ void setup_cost() {
                    std::to_string(nlev), Table::num(c.setup_sec, 5),
                    Table::num(c.virtual_sec, 5)});
   }
-  print_table(table);
+  bench::emit_table(table);
   print_note(
       "Paper: setup 'is done only once, and its cost is also nearly\n"
       "independent of AGCM problem size' — it grows far slower than the\n"
@@ -152,7 +152,7 @@ void implicit_vs_spectral() {
                      Table::num(static_cast<double>(c.bytes) / 1.0e6, 2)});
     }
   }
-  print_table(table);
+  bench::emit_table(table);
   print_note(
       "The implicit operator needs no transpose and moves ~3x fewer bytes,\n"
       "but even with all lines batched into one distributed solve it stays\n"
@@ -210,7 +210,7 @@ void scheme_comparison() {
                    std::to_string(result.total_messages),
                    Table::num(sum(moved), 0)});
   }
-  print_table(table);
+  bench::emit_table(table);
   print_note(
       "Expected shape (Figures 4-6): scheme 1 balances well but moves\n"
       "(N-1)/N of all data with O(N^2) messages; scheme 2 moves the least\n"
@@ -221,13 +221,17 @@ void scheme_comparison() {
 }  // namespace
 }  // namespace agcm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace agcm;
+  auto opts = bench::BenchOptions::parse(argc, argv, "ablation_comm");
+  bench::JsonReport report(opts);
+  bench::g_report = &report;
   print_header("Ablation benches: communication structure and setup costs");
   ring_vs_tree();
   balanced_vs_plain();
   setup_cost();
   implicit_vs_spectral();
   scheme_comparison();
+  report.finish();
   return 0;
 }

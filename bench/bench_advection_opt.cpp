@@ -51,8 +51,11 @@ Variant measure(bool optimized, const grid::LatLonGrid& grid,
 }  // namespace
 }  // namespace agcm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace agcm;
+  auto opts = bench::BenchOptions::parse(argc, argv, "advection_opt");
+  bench::JsonReport report(opts);
+  bench::g_report = &report;
   print_header("Section 3.4: advection routine single-node optimization");
 
   const grid::LatLonGrid grid = grid::LatLonGrid::paper_9layer();
@@ -76,7 +79,7 @@ int main() {
          Table::num(paragon.compute_time(v.cost.flops, v.cost.cache_efficiency), 3),
          Table::num(v.host_ms, 2)});
   }
-  print_table(table);
+  bench::emit_table(table);
 
   const double t_base =
       t3d.compute_time(baseline.cost.flops, baseline.cost.cache_efficiency);
@@ -96,5 +99,6 @@ int main() {
       "while the 'redundant' variant recomputes them in registers — thirty\n"
       "years later the flop/byte tradeoff has flipped, which is exactly why\n"
       "the paper's virtual machines are needed to reproduce its numbers.");
+  report.finish();
   return 0;
 }

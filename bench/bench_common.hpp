@@ -1,11 +1,38 @@
 // Shared helpers for the benchmark harness.
+//
+// Besides the stopwatch/printing helpers every bench always had, this header
+// provides the machine-readable side of the harness (see
+// docs/observability.md):
+//
+//  * BenchOptions — uniform command line for every bench_* binary:
+//        bench_foo [config.cfg] [--json[=path]] [--no-json]
+//                  [--trace[=path]] [--csv=path]
+//    plus the AGCM_BENCH_JSON / AGCM_TRACE environment overrides used by CI.
+//  * JsonReport — collects every printed table (plus arbitrary extra
+//    fields) and writes a deterministic `BENCH_<name>.json` next to the
+//    binary, so the paper-vs-measured numbers are diffable across runs
+//    without scraping stdout.
+//  * emit_table — print a util/table AND record it in the report.
+//
+// The JSON files are deterministic: object keys keep insertion order and
+// numbers use shortest-exact formatting, so two identical runs produce
+// byte-identical artefacts (CI diffs them to prove virtual-time
+// reproducibility).
 #pragma once
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "core/config_load.hpp"
 #include "core/model.hpp"
+#include "trace/export.hpp"
+#include "trace/json.hpp"
+#include "trace/metrics.hpp"
+#include "trace/tracer.hpp"
 #include "util/table.hpp"
 
 namespace agcm::bench {
@@ -45,5 +72,166 @@ struct NodeMesh {
   }
   int nodes() const { return rows * cols; }
 };
+
+/// Uniform bench command line; see the header comment for the grammar.
+struct BenchOptions {
+  std::string bench_name;
+  std::string config_path;  ///< optional positional argument
+  bool write_json = true;
+  std::string json_path;    ///< default "BENCH_<name>.json"
+  bool trace = false;
+  std::string trace_path;   ///< default "TRACE_<name>.json"
+  std::string csv_path;     ///< empty = no CSV
+
+  static BenchOptions parse(int argc, char** argv, std::string bench_name) {
+    BenchOptions opts;
+    opts.bench_name = std::move(bench_name);
+    opts.json_path = "BENCH_" + opts.bench_name + ".json";
+    opts.trace_path = "TRACE_" + opts.bench_name + ".json";
+
+    if (const char* env = std::getenv("AGCM_BENCH_JSON")) {
+      if (std::strcmp(env, "0") == 0) {
+        opts.write_json = false;
+      } else if (std::strcmp(env, "1") != 0) {
+        opts.json_path = env;
+      }
+    }
+    if (const char* env = std::getenv("AGCM_TRACE")) {
+      if (std::strcmp(env, "0") != 0) {
+        opts.trace = true;
+        if (std::strcmp(env, "1") != 0) opts.trace_path = env;
+      }
+    }
+
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--no-json") {
+        opts.write_json = false;
+      } else if (arg == "--json") {
+        opts.write_json = true;
+      } else if (arg.rfind("--json=", 0) == 0) {
+        opts.write_json = true;
+        opts.json_path = arg.substr(7);
+      } else if (arg == "--trace") {
+        opts.trace = true;
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        opts.trace = true;
+        opts.trace_path = arg.substr(8);
+      } else if (arg.rfind("--csv=", 0) == 0) {
+        opts.csv_path = arg.substr(6);
+      } else if (arg == "--help" || arg == "-h") {
+        std::printf(
+            "usage: bench_%s [config.cfg] [--json[=path]] [--no-json]\n"
+            "       [--trace[=path]] [--csv=path]\n",
+            opts.bench_name.c_str());
+        std::exit(0);
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+        std::exit(2);
+      } else {
+        opts.config_path = arg;
+      }
+    }
+    if (opts.trace) trace::set_enabled(true);
+    return opts;
+  }
+};
+
+/// Structured mirror of a bench's stdout: the tables it printed, optional
+/// extra fields, and (when tracing) the per-phase aggregate + metrics.
+class JsonReport {
+ public:
+  explicit JsonReport(BenchOptions opts) : opts_(std::move(opts)) {
+    root_ = trace::JsonValue::object();
+    root_.set("bench", opts_.bench_name);
+    root_.set("schema", "agcm-bench-v1");
+    if (!opts_.config_path.empty()) root_.set("config", opts_.config_path);
+    tables_ = trace::JsonValue::array();
+  }
+
+  const BenchOptions& options() const { return opts_; }
+
+  /// Records one table: {"title", "headers", "rows": [[cell,...],...]}.
+  void add_table(const Table& table) {
+    trace::JsonValue t = trace::JsonValue::object();
+    t.set("title", table.title());
+    trace::JsonValue headers = trace::JsonValue::array();
+    for (const std::string& h : table.headers()) headers.push_back(h);
+    t.set("headers", std::move(headers));
+    trace::JsonValue rows = trace::JsonValue::array();
+    for (const auto& row : table.row_cells()) {
+      trace::JsonValue cells = trace::JsonValue::array();
+      for (const std::string& c : row) cells.push_back(c);
+      rows.push_back(std::move(cells));
+    }
+    t.set("rows", std::move(rows));
+    tables_.push_back(std::move(t));
+  }
+
+  /// Adds/overwrites an arbitrary top-level field.
+  void set(std::string_view key, trace::JsonValue value) {
+    root_.set(key, std::move(value));
+  }
+
+  /// Snapshots the tracer's per-phase aggregate into the report.
+  void add_phases() {
+    root_.set("phases",
+              trace::phases_json(
+                  trace::aggregate_phases(trace::Tracer::instance())));
+  }
+
+  /// Snapshots the metrics registry (counters/gauges/distributions).
+  void add_metrics() {
+    root_.set("metrics", trace::MetricsRegistry::instance().to_json());
+  }
+
+  /// Serialises the report (tables last, so hand-set fields lead).
+  trace::JsonValue to_json() const {
+    trace::JsonValue out = root_;
+    out.set("tables", tables_);
+    return out;
+  }
+
+  /// Writes BENCH_<name>.json (unless --no-json) and, when tracing was on,
+  /// the Chrome trace and optional CSV. Prints what it wrote.
+  void finish() {
+    if (opts_.trace) {
+      add_phases();
+      add_metrics();
+      trace::write_chrome_trace(trace::Tracer::instance(), opts_.trace_path);
+      std::printf("wrote %s (chrome://tracing)\n", opts_.trace_path.c_str());
+      if (!opts_.csv_path.empty()) {
+        trace::write_trace_csv(trace::Tracer::instance(), opts_.csv_path);
+        std::printf("wrote %s\n", opts_.csv_path.c_str());
+      }
+    }
+    if (opts_.write_json) {
+      trace::write_text_file(opts_.json_path, to_json().dump_pretty() + "\n");
+      std::printf("wrote %s\n", opts_.json_path.c_str());
+    }
+    std::fflush(stdout);
+  }
+
+ private:
+  BenchOptions opts_;
+  trace::JsonValue root_;
+  trace::JsonValue tables_;
+};
+
+/// Prints the table to stdout and records it in the report.
+inline void emit_table(JsonReport& report, const Table& table) {
+  print_table(table);
+  report.add_table(table);
+}
+
+/// Current report for benches whose table-printing helpers predate the
+/// report plumbing; set by main, used by the one-argument emit_table.
+inline JsonReport* g_report = nullptr;
+
+/// Prints the table and, when a report is active, records it there too.
+inline void emit_table(const Table& table) {
+  print_table(table);
+  if (g_report != nullptr) g_report->add_table(table);
+}
 
 }  // namespace agcm::bench

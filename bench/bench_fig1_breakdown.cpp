@@ -8,6 +8,19 @@
 // For contrast, the same breakdown is printed for the new load-balanced FFT
 // module ("the filtering cost dropped from 49% of the cost of doing the
 // Dynamics part to about 21%" on 240 nodes, Section 3.4).
+//
+// Config mode: `bench_fig1_breakdown ../configs/small_demo.cfg` runs the
+// configured model twice with tracing enabled and
+//   * writes TRACE_fig1_breakdown.json (Chrome trace) and
+//     BENCH_fig1_breakdown.json (per-phase aggregate + tables),
+//   * checks that each rank's "model.rank" span carries a compute/overhead/
+//     wait split bitwise equal to the TimeBreakdown simnet reports for that
+//     rank, and
+//   * checks the two runs' virtual times are bit-identical.
+// A nonzero exit code means one of those invariants broke — CI runs this.
+#include <cmath>
+#include <cstring>
+
 #include "bench_common.hpp"
 
 namespace agcm {
@@ -23,7 +36,7 @@ struct PaperPoint {
   double filter_share;    ///< filtering / Dynamics
 };
 
-void run_breakdown(const std::string& title,
+void run_breakdown(bench::JsonReport& report, const std::string& title,
                    filter::FilterAlgorithm algorithm,
                    std::span<const PaperPoint> points, bool have_paper) {
   Table table(title,
@@ -36,11 +49,9 @@ void run_breakdown(const std::string& title,
     cfg.mesh_cols = point.mesh.cols;
     cfg.filter_algorithm = algorithm;
     cfg.physics_load_balance = false;
-    const auto report = core::run_model(cfg, 2, 1);
-    const double dyn_share =
-        report.dynamics_per_day() / report.total_per_day();
-    const double filt_share =
-        report.filter_per_day() / report.dynamics_per_day();
+    const auto run = core::run_model(cfg, 2, 1);
+    const double dyn_share = run.dynamics_per_day() / run.total_per_day();
+    const double filt_share = run.filter_per_day() / run.dynamics_per_day();
     auto share_cell = [&](double paper, double measured) {
       return have_paper
                  ? Table::pct(paper) + " / " + Table::pct(measured)
@@ -49,19 +60,14 @@ void run_breakdown(const std::string& title,
     table.add_row({point.mesh.label(),
                    share_cell(point.dynamics_share, dyn_share),
                    share_cell(point.filter_share, filt_share),
-                   Table::num(report.filter_per_day(), 1),
-                   Table::num(report.dynamics_per_day(), 1),
-                   Table::num(report.physics_per_day(), 1)});
+                   Table::num(run.filter_per_day(), 1),
+                   Table::num(run.dynamics_per_day(), 1),
+                   Table::num(run.physics_per_day(), 1)});
   }
-  print_table(table);
+  bench::emit_table(report, table);
 }
 
-}  // namespace
-}  // namespace agcm
-
-int main() {
-  using namespace agcm;
-
+int paper_mode(bench::JsonReport& report) {
   print_header("Figure 1: execution-time breakdown of the AGCM main body");
   print_note(
       "Intel Paragon virtual machine, 144x90x9 grid, convolution filter —\n"
@@ -72,7 +78,7 @@ int main() {
       {{4, 4}, 0.72, 0.36},
       {{8, 30}, 0.86, 0.49},
   };
-  run_breakdown("Figure 1 (original code: convolution filtering)",
+  run_breakdown(report, "Figure 1 (original code: convolution filtering)",
                 filter::FilterAlgorithm::kConvolutionRing, paper_points,
                 /*have_paper=*/true);
 
@@ -83,8 +89,125 @@ int main() {
       {{4, 4}, 0.0, 0.0},
       {{8, 30}, 0.0, 0.21},
   };
-  run_breakdown("Figure 1 counterpart (new code: load-balanced FFT)",
+  run_breakdown(report, "Figure 1 counterpart (new code: load-balanced FFT)",
                 filter::FilterAlgorithm::kFftBalanced, new_points,
                 /*have_paper=*/false);
+  report.finish();
   return 0;
+}
+
+/// Bitwise double equality (the check really is "same bits", not "close").
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+int config_mode(bench::JsonReport& report) {
+  const auto& opts = report.options();
+  const core::RunSpec spec = core::run_spec_from_file(opts.config_path);
+  trace::set_enabled(true);
+
+  print_header("Traced breakdown of " + opts.config_path);
+
+  // --- run 1: traced --------------------------------------------------------
+  const core::RunReport run1 =
+      core::run_model(spec.model, spec.steps, spec.warmup_steps);
+  const std::vector<trace::SpanRecord> spans =
+      trace::Tracer::instance().spans();
+  const auto phases = trace::aggregate_phases(trace::Tracer::instance());
+  print_table(trace::phase_table(phases));
+  report.add_table(trace::phase_table(phases));
+
+  int failures = 0;
+
+  // (a) Each rank's whole-program "model.rank" span must carry exactly the
+  //     TimeBreakdown simnet accounted for that rank.
+  int model_rank_spans = 0;
+  for (const trace::SpanRecord& s : spans) {
+    if (s.name != "model.rank") continue;
+    ++model_rank_spans;
+    const auto& machine_view =
+        run1.rank_breakdowns[static_cast<std::size_t>(s.rank)];
+    if (!same_bits(s.split.compute, machine_view.compute) ||
+        !same_bits(s.split.overhead, machine_view.overhead) ||
+        !same_bits(s.split.wait, machine_view.wait)) {
+      std::printf("FAIL rank %d: span split {%.17g, %.17g, %.17g} != "
+                  "machine breakdown {%.17g, %.17g, %.17g}\n",
+                  s.rank, s.split.compute, s.split.overhead, s.split.wait,
+                  machine_view.compute, machine_view.overhead,
+                  machine_view.wait);
+      ++failures;
+    }
+  }
+  if (model_rank_spans != spec.model.nranks()) {
+    std::printf("FAIL: expected %d model.rank spans, traced %d\n",
+                spec.model.nranks(), model_rank_spans);
+    ++failures;
+  }
+  if (failures == 0) {
+    print_note("OK: every model.rank span split matches simnet's "
+               "TimeBreakdown bitwise (" +
+               std::to_string(model_rank_spans) + " ranks)");
+  }
+
+  const std::string trace1 = trace::chrome_trace_json(trace::Tracer::instance());
+  trace::write_text_file(opts.trace_path, trace1);
+  std::printf("wrote %s (chrome://tracing)\n", opts.trace_path.c_str());
+
+  // --- run 2: identical, for the determinism check --------------------------
+  const core::RunReport run2 =
+      core::run_model(spec.model, spec.steps, spec.warmup_steps);
+  const std::string trace2 = trace::chrome_trace_json(trace::Tracer::instance());
+  for (std::size_t r = 0; r < run1.rank_breakdowns.size(); ++r) {
+    const auto& a = run1.rank_breakdowns[r];
+    const auto& b = run2.rank_breakdowns[r];
+    if (!same_bits(a.compute, b.compute) ||
+        !same_bits(a.overhead, b.overhead) || !same_bits(a.wait, b.wait)) {
+      std::printf("FAIL: rank %zu virtual time differs between runs\n", r);
+      ++failures;
+    }
+  }
+  if (trace1 != trace2) {
+    print_note("FAIL: Chrome trace JSON differs between identical runs");
+    ++failures;
+  } else {
+    print_note("OK: two identical runs produced byte-identical traces");
+  }
+
+  // --- report ---------------------------------------------------------------
+  report.add_phases();
+  report.add_metrics();
+  trace::JsonValue times = trace::JsonValue::object();
+  times.set("filter_per_day_sec", run1.filter_per_day());
+  times.set("dynamics_per_day_sec", run1.dynamics_per_day());
+  times.set("physics_per_day_sec", run1.physics_per_day());
+  times.set("total_per_day_sec", run1.total_per_day());
+  report.set("component_times", std::move(times));
+  report.set("validation_failures", failures);
+  if (report.options().write_json) {
+    trace::write_text_file(report.options().json_path,
+                           report.to_json().dump_pretty() + "\n");
+    std::printf("wrote %s\n", report.options().json_path.c_str());
+  }
+
+  std::printf("\nseconds per simulated day (virtual): filter %.1f, "
+              "dynamics %.1f, physics %.1f, total %.1f\n",
+              run1.filter_per_day(), run1.dynamics_per_day(),
+              run1.physics_per_day(), run1.total_per_day());
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace agcm
+
+int main(int argc, char** argv) {
+  using namespace agcm;
+  auto opts = bench::BenchOptions::parse(argc, argv, "fig1_breakdown");
+  bench::JsonReport report(opts);
+  try {
+    if (!opts.config_path.empty()) return config_mode(report);
+    return paper_mode(report);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -39,8 +39,11 @@ double seconds_per_day(const Resolution& res, NodeMesh mesh) {
 }  // namespace
 }  // namespace agcm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace agcm;
+  auto opts = bench::BenchOptions::parse(argc, argv, "resolution_scaling");
+  bench::JsonReport report(opts);
+  bench::g_report = &report;
 
   print_header(
       "Section 4 prediction: scaling improves with model resolution");
@@ -64,10 +67,11 @@ int main() {
     table.add_row({res.label, Table::num(serial, 0), Table::num(par, 1),
                    Table::pct(eff, 1)});
   }
-  print_table(table);
+  bench::emit_table(table);
   print_note(
       "Expected shape: efficiency rises down the table — more local work\n"
       "per ghost point and per filtered line as resolution grows, both\n"
       "horizontally and vertically (the paper's 15-layer observation).");
+  report.finish();
   return 0;
 }

@@ -44,7 +44,7 @@ void virtual_model_table() {
                      Table::num(sp, 2), Table::num(st, 2)});
     }
   }
-  print_table(table);
+  bench::emit_table(table);
   const double anchor_p = stencil_virtual_time_separate(paragon, 12, 32) /
                           stencil_virtual_time_block(paragon, 12, 32);
   const double anchor_t = stencil_virtual_time_separate(t3d, 12, 32) /
@@ -77,14 +77,17 @@ void host_wallclock_table() {
                      Table::num(sep_ms / blk_ms, 2)});
     }
   }
-  print_table(table);
+  bench::emit_table(table);
 }
 
 }  // namespace
 }  // namespace agcm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace agcm;
+  auto opts = bench::BenchOptions::parse(argc, argv, "stencil_layout");
+  bench::JsonReport report(opts);
+  bench::g_report = &report;
   print_header(
       "Section 3.4: seven-point Laplace stencil, separate vs block arrays");
   virtual_model_table();
@@ -94,5 +97,6 @@ int main() {
       "showed *no advantage inside the real advection routine*, whose many\n"
       "loops reference varying subsets of the fields — see\n"
       "bench_advection_opt for that experiment.");
+  report.finish();
   return 0;
 }

@@ -104,15 +104,18 @@ void run_table(const PaperTable& spec) {
          Table::pct(spec.rows[stage][2]) + " / " +
              Table::pct(load_imbalance(loads), 1)});
   }
-  print_table(table);
+  bench::emit_table(table);
   (void)result;
 }
 
 }  // namespace
 }  // namespace agcm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace agcm;
+  auto opts = bench::BenchOptions::parse(argc, argv, "tables1_3_physics_lb");
+  bench::JsonReport report(opts);
+  bench::g_report = &report;
 
   print_header(
       "Tables 1-3: Scheme-3 load-balancing simulation for AGCM/Physics "
@@ -140,5 +143,6 @@ int main() {
   print_note(
       "Paper conclusion to check: two pairwise iterations reduce the\n"
       "percentage of load imbalance from 35-48% to 5-6%.");
+  report.finish();
   return 0;
 }

@@ -51,14 +51,17 @@ void run_table(const TableSpec& spec) {
                    Table::paper_vs(row.speedup, speedup, 1),
                    Table::paper_vs(row.total, report.total_per_day(), 1)});
   }
-  print_table(table);
+  bench::emit_table(table);
 }
 
 }  // namespace
 }  // namespace agcm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace agcm;
+  auto opts = bench::BenchOptions::parse(argc, argv, "tables4_7_agcm");
+  bench::JsonReport report(opts);
+  bench::g_report = &report;
   using agcm::bench::print_header;
   using agcm::bench::print_note;
 
@@ -110,5 +113,6 @@ int main() {
       "Headline checks (paper Section 4): the new Dynamics should be a bit\n"
       "more than 2x faster than the old on 240 nodes, and the T3D should run\n"
       "~2.5x faster than the Paragon.");
+  report.finish();
   return 0;
 }

@@ -101,7 +101,7 @@ std::vector<Measured> run_table(const std::string& title,
                    Table::paper_vs(row.fft_lb, m.fft_lb, 1)});
     measured.push_back(m);
   }
-  print_table(table);
+  bench::emit_table(table);
   return measured;
 }
 
@@ -127,8 +127,11 @@ void derived_metrics(const std::string& label,
 }  // namespace
 }  // namespace agcm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace agcm;
+  auto opts = bench::BenchOptions::parse(argc, argv, "tables8_11_filtering");
+  bench::JsonReport report(opts);
+  bench::g_report = &report;
 
   print_header("Tables 8-11: total filtering times (seconds/simulated day)");
   print_note(
@@ -171,5 +174,6 @@ int main() {
   derived_metrics("9-layer (T3D)", m9, 4.74, 0.32, 36.0 / 7.4);
   derived_metrics("15-layer (Paragon)", m10, 5.87, 0.39, 188.0 / 37.0);
   derived_metrics("15-layer (T3D)", m11, 5.87, 0.39, 75.0 / 15.0);
+  report.finish();
   return 0;
 }

@@ -1,43 +1,22 @@
 // Config-file-driven model driver: the closest thing to "running the AGCM"
 // as a production tool. Reads a key = value config (see configs/*.cfg),
-// integrates, prints the run report, and optionally writes a history file.
+// integrates, prints the run report, and — when the config asks for it —
+// records a virtual-time trace (docs/observability.md):
+//
+//   trace      = true          # per-phase table on stdout
+//   trace_json = my_trace.json # Chrome trace (chrome://tracing, Perfetto)
+//   trace_csv  = my_trace.csv  # one line per span, for pandas
 //
 //   $ ./agcm_run ../configs/t3d_240nodes.cfg
 #include <cstdio>
 #include <string>
 
+#include "core/config_load.hpp"
 #include "core/model.hpp"
 #include "io/config.hpp"
+#include "trace/export.hpp"
+#include "trace/tracer.hpp"
 #include "util/logging.hpp"
-
-namespace {
-
-agcm::filter::FilterAlgorithm parse_algorithm(const std::string& name) {
-  using agcm::filter::FilterAlgorithm;
-  if (name == "convolution-ring") return FilterAlgorithm::kConvolutionRing;
-  if (name == "convolution-tree") return FilterAlgorithm::kConvolutionTree;
-  if (name == "fft-transpose") return FilterAlgorithm::kFftTranspose;
-  if (name == "fft-load-balanced") return FilterAlgorithm::kFftBalanced;
-  throw agcm::ConfigError("unknown filter_algorithm '" + name + "'");
-}
-
-agcm::dynamics::TimeScheme parse_scheme(const std::string& name) {
-  using agcm::dynamics::TimeScheme;
-  if (name == "forward-backward") return TimeScheme::kForwardBackward;
-  if (name == "leapfrog") return TimeScheme::kLeapfrog;
-  throw agcm::ConfigError("unknown time_scheme '" + name + "'");
-}
-
-agcm::simnet::MachineProfile parse_machine(const std::string& name) {
-  using agcm::simnet::MachineProfile;
-  if (name == "paragon") return MachineProfile::intel_paragon();
-  if (name == "t3d") return MachineProfile::cray_t3d();
-  if (name == "sp2") return MachineProfile::ibm_sp2();
-  if (name == "ideal") return MachineProfile::ideal();
-  throw agcm::ConfigError("unknown machine '" + name + "'");
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace agcm;
@@ -48,38 +27,21 @@ int main(int argc, char** argv) {
 
   try {
     const io::Config config = io::Config::from_file(argv[1]);
-
-    core::ModelConfig model;
-    model.nlon = config.get_int("nlon", 144);
-    model.nlat = config.get_int("nlat", 90);
-    model.nlev = config.get_int("nlev", 9);
-    model.mesh_rows = config.require_int("mesh_rows");
-    model.mesh_cols = config.require_int("mesh_cols");
-    model.dt_sec = config.get_double("dt_sec", 450.0);
-    model.time_scheme =
-        parse_scheme(config.get_string("time_scheme", "forward-backward"));
-    model.machine = parse_machine(config.get_string("machine", "t3d"));
-    model.filter_algorithm = parse_algorithm(
-        config.get_string("filter_algorithm", "fft-load-balanced"));
-    model.use_polar_filter = config.get_bool("polar_filter", true);
-    model.physics_enabled = config.get_bool("physics", true);
-    model.physics_load_balance =
-        config.get_bool("physics_load_balance", false);
-    model.optimized_advection = config.get_bool("optimized_advection", false);
-    model.seed = static_cast<std::uint64_t>(config.get_int("seed", 1996));
-    const int steps = config.get_int("steps", 4);
-    const int warmup = config.get_int("warmup_steps", 1);
+    const core::RunSpec spec = core::run_spec_from(config);
 
     for (const std::string& key : config.unused_keys())
       log::warn("config key '{}' was not recognised", key);
 
+    const core::ModelConfig& model = spec.model;
     std::printf("AGCM %dx%dx%d on %s, %dx%d nodes, filter=%s\n", model.nlon,
                 model.nlat, model.nlev, model.machine.name.c_str(),
                 model.mesh_rows, model.mesh_cols,
                 std::string(filter::algorithm_name(model.filter_algorithm))
                     .c_str());
 
-    const core::RunReport report = core::run_model(model, steps, warmup);
+    if (spec.trace) trace::set_enabled(true);
+    const core::RunReport report =
+        core::run_model(model, spec.steps, spec.warmup_steps);
 
     std::printf("\nseconds per simulated day (virtual):\n");
     std::printf("  filtering  %10.1f\n", report.filter_per_day());
@@ -91,6 +53,20 @@ int main(int argc, char** argv) {
                 report.mass_drift_rel, report.max_zonal_courant,
                 100.0 * report.physics_imbalance_before,
                 100.0 * report.physics_imbalance_after);
+
+    if (spec.trace) {
+      const auto& tracer = trace::Tracer::instance();
+      print_table(trace::phase_table(trace::aggregate_phases(tracer)));
+      if (!spec.trace_json_path.empty()) {
+        trace::write_chrome_trace(tracer, spec.trace_json_path);
+        std::printf("wrote %s (chrome://tracing)\n",
+                    spec.trace_json_path.c_str());
+      }
+      if (!spec.trace_csv_path.empty()) {
+        trace::write_trace_csv(tracer, spec.trace_csv_path);
+        std::printf("wrote %s\n", spec.trace_csv_path.c_str());
+      }
+    }
     return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -22,6 +22,7 @@ void Communicator::charge_flops(double flops, double cache_efficiency) const {
 double Communicator::now() const { return ctx_->clock().now(); }
 
 void Communicator::barrier() const {
+  AGCM_TRACE_SPAN("comm.barrier", *ctx_);
   const double nothing = 0.0;
   double out = 0.0;
   allreduce<double>(std::span<const double>(&nothing, 1),

@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "simnet/machine.hpp"
+#include "trace/metrics.hpp"
+#include "trace/tracer.hpp"
 #include "util/error.hpp"
 
 namespace agcm::comm {
@@ -49,6 +51,7 @@ class Communicator {
   void send(int dst, int tag, std::span<const T> data) const {
     static_assert(std::is_trivially_copyable_v<T>);
     check_tag(tag);
+    record_send(data.size_bytes());
     ctx_->send_bytes(global(dst), combine_tag(tag),
                      std::as_bytes(data));
   }
@@ -64,6 +67,7 @@ class Communicator {
     static_assert(std::is_trivially_copyable_v<T>);
     check_tag(tag);
     const auto bytes = ctx_->recv_bytes(global(src), combine_tag(tag));
+    record_recv(bytes.size());
     if (bytes.size() != data.size_bytes()) {
       throw CommError("recv size mismatch: expected " +
                       std::to_string(data.size_bytes()) + " bytes, got " +
@@ -78,6 +82,7 @@ class Communicator {
     static_assert(std::is_trivially_copyable_v<T>);
     check_tag(tag);
     const auto bytes = ctx_->recv_bytes(global(src), combine_tag(tag));
+    record_recv(bytes.size());
     if (bytes.size() % sizeof(T) != 0) {
       throw CommError("recv_any_size: payload not a multiple of sizeof(T)");
     }
@@ -186,6 +191,21 @@ class Communicator {
   Communicator(simnet::RankContext& ctx, std::vector<int> members, int rank,
                std::int64_t context_id);
 
+  /// Traffic counters into the MetricsRegistry, keyed by *machine* rank.
+  /// One relaxed atomic load when tracing is off — nothing measurable.
+  void record_send(std::size_t bytes) const {
+    if (!trace::enabled()) return;
+    auto& metrics = trace::MetricsRegistry::instance();
+    metrics.add("comm.messages_sent", ctx_->rank());
+    metrics.add("comm.bytes_sent", ctx_->rank(), static_cast<double>(bytes));
+  }
+  void record_recv(std::size_t bytes) const {
+    if (!trace::enabled()) return;
+    auto& metrics = trace::MetricsRegistry::instance();
+    metrics.add("comm.messages_recv", ctx_->rank());
+    metrics.add("comm.bytes_recv", ctx_->rank(), static_cast<double>(bytes));
+  }
+
   int global(int local_rank) const {
     if (local_rank < 0 || local_rank >= size()) {
       throw CommError("rank " + std::to_string(local_rank) +
@@ -228,6 +248,7 @@ inline int tree_parent(int rel) {
 template <typename T>
 void Communicator::broadcast(int root, std::span<T> data) const {
   static_assert(std::is_trivially_copyable_v<T>);
+  AGCM_TRACE_SPAN("comm.broadcast", *ctx_);
   const int p = size();
   if (p == 1) return;
   const int rel = (rank_ - root + p) % p;
@@ -252,6 +273,7 @@ template <typename T>
 void Communicator::reduce(int root, std::span<const T> in, std::span<T> out,
                           const std::function<T(T, T)>& op) const {
   static_assert(std::is_trivially_copyable_v<T>);
+  AGCM_TRACE_SPAN("comm.reduce", *ctx_);
   AGCM_ASSERT(in.size() == out.size());
   const int p = size();
   std::vector<T> acc(in.begin(), in.end());
@@ -284,6 +306,7 @@ void Communicator::reduce(int root, std::span<const T> in, std::span<T> out,
 template <typename T>
 void Communicator::allreduce(std::span<const T> in, std::span<T> out,
                              const std::function<T(T, T)>& op) const {
+  AGCM_TRACE_SPAN("comm.allreduce", *ctx_);
   reduce<T>(0, in, out, op);
   broadcast<T>(0, out);
 }
@@ -292,6 +315,7 @@ template <typename T>
 std::vector<T> Communicator::gatherv(int root, std::span<const T> mine,
                                      std::span<const int> counts) const {
   static_assert(std::is_trivially_copyable_v<T>);
+  AGCM_TRACE_SPAN("comm.gatherv", *ctx_);
   const int p = size();
   AGCM_ASSERT(static_cast<int>(counts.size()) == p);
   AGCM_ASSERT(static_cast<int>(mine.size()) ==
@@ -325,6 +349,7 @@ template <typename T>
 std::vector<T> Communicator::scatterv(int root, std::span<const T> all,
                                       std::span<const int> counts) const {
   static_assert(std::is_trivially_copyable_v<T>);
+  AGCM_TRACE_SPAN("comm.scatterv", *ctx_);
   const int p = size();
   AGCM_ASSERT(static_cast<int>(counts.size()) == p);
   constexpr int kTag = kMaxUserTag - 4;
@@ -353,6 +378,7 @@ std::vector<T> Communicator::scatterv(int root, std::span<const T> all,
 template <typename T>
 std::vector<T> Communicator::allgatherv(std::span<const T> mine,
                                         std::span<const int> counts) const {
+  AGCM_TRACE_SPAN("comm.allgatherv", *ctx_);
   std::vector<T> all = gatherv<T>(0, mine, counts);
   std::size_t total = 0;
   for (int c : counts) total += static_cast<std::size_t>(c);
@@ -365,6 +391,7 @@ template <typename T>
 void Communicator::scan(std::span<const T> in, std::span<T> out,
                         const std::function<T(T, T)>& op) const {
   static_assert(std::is_trivially_copyable_v<T>);
+  AGCM_TRACE_SPAN("comm.scan", *ctx_);
   AGCM_ASSERT(in.size() == out.size());
   constexpr int kTag = kMaxUserTag - 6;
   std::copy(in.begin(), in.end(), out.begin());
@@ -384,6 +411,7 @@ template <typename T>
 std::vector<T> Communicator::reduce_scatter_block(
     std::span<const T> in, int block, const std::function<T(T, T)>& op) const {
   static_assert(std::is_trivially_copyable_v<T>);
+  AGCM_TRACE_SPAN("comm.reduce_scatter", *ctx_);
   const int p = size();
   AGCM_ASSERT(static_cast<int>(in.size()) == p * block);
   // Reduce everything to rank 0, then scatter the blocks — the simple
@@ -399,6 +427,7 @@ std::vector<T> Communicator::alltoallv(std::span<const T> send_data,
                                        std::span<const int> send_counts,
                                        std::span<const int> recv_counts) const {
   static_assert(std::is_trivially_copyable_v<T>);
+  AGCM_TRACE_SPAN("comm.alltoallv", *ctx_);
   const int p = size();
   AGCM_ASSERT(static_cast<int>(send_counts.size()) == p);
   AGCM_ASSERT(static_cast<int>(recv_counts.size()) == p);

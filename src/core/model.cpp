@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "comm/mesh2d.hpp"
 #include "simnet/machine.hpp"
+#include "trace/metrics.hpp"
+#include "trace/tracer.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -37,8 +40,19 @@ RunReport run_model(const ModelConfig& config, int steps, int warmup_steps) {
 
   std::vector<RankOutcome> outcomes(static_cast<std::size_t>(nranks));
 
+  // A fresh trace per run. Cheap no-ops when tracing is disabled; the
+  // tracer itself never touches any virtual clock, so enabling it changes
+  // virtual-time results by exactly zero.
+  if (trace::enabled()) {
+    trace::Tracer::instance().begin_run(nranks);
+    trace::MetricsRegistry::instance().reset();
+  }
+
   const simnet::RunResult run_result =
       machine.run(nranks, [&](simnet::RankContext& ctx) {
+    // Whole-program span: starts with a zeroed clock, so its split delta is
+    // bitwise equal to the rank's final TimeBreakdown.
+    AGCM_TRACE_SPAN("model.rank", ctx);
     comm::Communicator world(ctx);
     comm::Mesh2D mesh(world, config.mesh_rows, config.mesh_cols);
     const grid::LatLonGrid grid(config.nlon, config.nlat, config.nlev);
@@ -55,7 +69,10 @@ RunReport run_model(const ModelConfig& config, int steps, int warmup_steps) {
     // Pre-processing (excluded from step timing, as in the paper): filter
     // plan setup happens inside the Dynamics constructor.
     const double setup_t0 = world.now();
+    std::optional<trace::ScopedSpan> setup_span;
+    if (trace::enabled()) setup_span.emplace("model.setup", ctx);
     dynamics::Dynamics dyn(mesh, decomp, grid, dyn_cfg);
+    setup_span.reset();
     const double setup_cost = world.now() - setup_t0;
 
     physics::PhysicsConfig phys_cfg;
@@ -77,6 +94,9 @@ RunReport run_model(const ModelConfig& config, int steps, int warmup_steps) {
     physics::PhysicsStepStats phys_stats;
     for (int s = 0; s < warmup_steps + steps; ++s) {
       const bool timed = s >= warmup_steps;
+      std::optional<trace::ScopedSpan> step_span;
+      if (trace::enabled())
+        step_span.emplace(timed ? "model.step" : "model.warmup", ctx);
 
       dyn.step(state);  // barriers internally after the filter phase
       world.barrier();  // dynamics/physics component boundary
@@ -147,6 +167,7 @@ RunReport run_model(const ModelConfig& config, int steps, int warmup_steps) {
   report.max_gravity_courant = outcomes.front().max_gravity_courant;
   report.total_messages = run_result.total_messages;
   report.total_bytes = run_result.total_bytes;
+  report.rank_breakdowns = run_result.breakdowns;
   return report;
 }
 

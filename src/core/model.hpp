@@ -14,6 +14,7 @@
 #include "loadbalance/schemes.hpp"
 #include "physics/physics.hpp"
 #include "simnet/machine_profile.hpp"
+#include "simnet/virtual_clock.hpp"
 
 namespace agcm::core {
 
@@ -83,6 +84,12 @@ struct RunReport {
 
   std::uint64_t total_messages = 0;
   std::uint64_t total_bytes = 0;
+
+  /// Per-rank compute/overhead/wait accounting over the whole program (setup
+  /// + warmup + timed steps + diagnostics), straight from the virtual
+  /// machine. When tracing is enabled, each rank's "model.rank" span carries
+  /// the same split — the trace layer validates itself against this.
+  std::vector<simnet::TimeBreakdown> rank_breakdowns;
 };
 
 /// Integrates the model for `steps` timed steps (after `warmup_steps` that

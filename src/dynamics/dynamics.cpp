@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "grid/halo.hpp"
+#include "trace/tracer.hpp"
 #include "util/error.hpp"
 
 namespace agcm::dynamics {
@@ -69,27 +70,37 @@ void Dynamics::apply_filter(State& state) {
 }
 
 void Dynamics::step(State& state) {
-  auto& clock = mesh_->world().context().clock();
+  simnet::RankContext& ctx = mesh_->world().context();
+  auto& clock = ctx.clock();
   timings_ = DynamicsTimings{};
 
   // 1. Spectral filtering "at each time step before the finite-difference
   //    procedures are called".
   double t0 = clock.now();
-  apply_filter(state);
-  mesh_->world().barrier();  // component timing boundary (as in the paper)
+  {
+    AGCM_TRACE_SPAN("dynamics.filter", ctx);
+    apply_filter(state);
+    mesh_->world().barrier();  // component timing boundary (as in the paper)
+  }
   timings_.filter_sec = clock.now() - t0;
 
   // 2. Ghost-point exchanges for the FD sweeps.
   t0 = clock.now();
-  exchange_all_halos(state);
+  {
+    AGCM_TRACE_SPAN("dynamics.halo", ctx);
+    exchange_all_halos(state);
+  }
   timings_.halo_sec = clock.now() - t0;
 
   // 3. Finite differences (+ upwind tracers).
   t0 = clock.now();
-  if (config_.time_scheme == TimeScheme::kLeapfrog) {
-    finite_differences_leapfrog(state);
-  } else {
-    finite_differences(state);
+  {
+    AGCM_TRACE_SPAN("dynamics.fd", ctx);
+    if (config_.time_scheme == TimeScheme::kLeapfrog) {
+      finite_differences_leapfrog(state);
+    } else {
+      finite_differences(state);
+    }
   }
   timings_.fd_sec = clock.now() - t0;
 

@@ -11,7 +11,7 @@ namespace {
 constexpr int kRingTag = 310;
 }
 
-void ConvolutionRingFilter::apply(
+void ConvolutionRingFilter::apply_impl(
     std::span<grid::Array3D<double>* const> fields) {
   validate_fields(fields);
   // The original AGCM filtered "one variable at a time" (Section 3.3); the

@@ -6,7 +6,7 @@
 
 namespace agcm::filter {
 
-void ConvolutionTreeFilter::apply(
+void ConvolutionTreeFilter::apply_impl(
     std::span<grid::Array3D<double>* const> fields) {
   validate_fields(fields);
   for (int v = 0; v < bank().nvars(); ++v) {

@@ -36,7 +36,7 @@ FftBalancedFilter::FftBalancedFilter(const comm::Mesh2D& mesh,
   setup_cost_sec_ = mesh.world().now() - t0;
 }
 
-void FftBalancedFilter::apply(
+void FftBalancedFilter::apply_impl(
     std::span<grid::Array3D<double>* const> fields) {
   validate_fields(fields);
   auto& clock = mesh().world().context().clock();

@@ -38,7 +38,7 @@ FftTransposeFilter::FftTransposeFilter(const comm::Mesh2D& mesh,
       fft_plan_(decomp.nlon()),
       plan_(mesh, decomp, local_lines()) {}
 
-void FftTransposeFilter::apply(
+void FftTransposeFilter::apply_impl(
     std::span<grid::Array3D<double>* const> fields) {
   validate_fields(fields);
   const auto& lines = plan_.lines();

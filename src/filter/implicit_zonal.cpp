@@ -27,7 +27,7 @@ double ImplicitZonalFilter::response(double k_strength, int wavenumber,
   return 1.0 / (1.0 + k_strength * (2.0 - 2.0 * std::cos(phase)));
 }
 
-void ImplicitZonalFilter::apply(
+void ImplicitZonalFilter::apply_impl(
     std::span<grid::Array3D<double>* const> fields) {
   validate_fields(fields);
   const auto& row = mesh().row_comm();

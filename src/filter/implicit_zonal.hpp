@@ -26,7 +26,7 @@ class ImplicitZonalFilter final : public PolarFilter {
   ImplicitZonalFilter(const comm::Mesh2D& mesh, const grid::Decomp2D& decomp,
                       const FilterBank& bank);
 
-  void apply(std::span<grid::Array3D<double>* const> fields) override;
+  void apply_impl(std::span<grid::Array3D<double>* const> fields) override;
   std::string_view name() const override { return "implicit-zonal"; }
 
   /// Diffusion strength for variable v at global row j, matched to the

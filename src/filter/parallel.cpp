@@ -3,6 +3,7 @@
 
 #include "filter/implicit_zonal.hpp"
 #include "filter/variants.hpp"
+#include "trace/tracer.hpp"
 #include "util/error.hpp"
 
 namespace agcm::filter {
@@ -25,6 +26,18 @@ PolarFilter::PolarFilter(const comm::Mesh2D& mesh,
   check_config(decomp.nlon() == bank.grid().nlon() &&
                    decomp.nlat() == bank.grid().nlat(),
                "decomposition does not match the filter bank's grid");
+}
+
+void PolarFilter::apply(std::span<grid::Array3D<double>* const> fields) {
+  if (!trace::enabled()) {
+    apply_impl(fields);
+    return;
+  }
+  simnet::RankContext& ctx = mesh_->world().context();
+  std::string span_name = "filter.";
+  span_name += name();
+  trace::ScopedSpan span(span_name, ctx.clock(), ctx.rank());
+  apply_impl(fields);
 }
 
 std::vector<int> PolarFilter::local_rows(int v) const {

@@ -56,8 +56,11 @@ class PolarFilter {
 
   /// Filters the registered variables in place. `fields[v]` is the local
   /// block of the bank's variable v (interior ni x nj x nlev; ghosts, if
-  /// any, are neither read nor written). Collective over the mesh.
-  virtual void apply(std::span<grid::Array3D<double>* const> fields) = 0;
+  /// any, are neither read nor written). Collective over the mesh. When
+  /// tracing is enabled (trace/tracer.hpp) the call is wrapped in a
+  /// "filter.<name>" virtual-time span; otherwise it forwards straight to
+  /// the variant implementation.
+  void apply(std::span<grid::Array3D<double>* const> fields);
 
   virtual std::string_view name() const = 0;
 
@@ -67,6 +70,9 @@ class PolarFilter {
   const grid::LocalBox& box() const { return box_; }
 
  protected:
+  /// The variant's filtering algorithm (called by the traced apply()).
+  virtual void apply_impl(std::span<grid::Array3D<double>* const> fields) = 0;
+
   /// Global rows of variable v inside my latitude band.
   std::vector<int> local_rows(int v) const;
 

@@ -26,7 +26,7 @@ void filter_owned_lines_fft(const fft::FftPlan& plan, const FilterBank& bank,
 class ConvolutionRingFilter final : public PolarFilter {
  public:
   using PolarFilter::PolarFilter;
-  void apply(std::span<grid::Array3D<double>* const> fields) override;
+  void apply_impl(std::span<grid::Array3D<double>* const> fields) override;
   std::string_view name() const override { return "convolution-ring"; }
 
  private:
@@ -40,7 +40,7 @@ class ConvolutionRingFilter final : public PolarFilter {
 class ConvolutionTreeFilter final : public PolarFilter {
  public:
   using PolarFilter::PolarFilter;
-  void apply(std::span<grid::Array3D<double>* const> fields) override;
+  void apply_impl(std::span<grid::Array3D<double>* const> fields) override;
   std::string_view name() const override { return "convolution-tree"; }
 
  private:
@@ -56,7 +56,7 @@ class FftTransposeFilter final : public PolarFilter {
  public:
   FftTransposeFilter(const comm::Mesh2D& mesh, const grid::Decomp2D& decomp,
                      const FilterBank& bank);
-  void apply(std::span<grid::Array3D<double>* const> fields) override;
+  void apply_impl(std::span<grid::Array3D<double>* const> fields) override;
   std::string_view name() const override { return "fft-transpose"; }
 
  private:
@@ -73,7 +73,7 @@ class FftBalancedFilter final : public PolarFilter {
  public:
   FftBalancedFilter(const comm::Mesh2D& mesh, const grid::Decomp2D& decomp,
                     const FilterBank& bank);
-  void apply(std::span<grid::Array3D<double>* const> fields) override;
+  void apply_impl(std::span<grid::Array3D<double>* const> fields) override;
   std::string_view name() const override { return "fft-load-balanced"; }
 
   /// Virtual seconds spent building the plan (the paper: "its cost is not

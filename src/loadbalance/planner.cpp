@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "trace/metrics.hpp"
+#include "trace/tracer.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -73,6 +75,15 @@ BalanceResult balance_pairwise(const comm::Communicator& comm,
     result.imbalance_history.push_back(imbalance);
     if (iter == 0) result.imbalance_before = imbalance;
     result.imbalance_after = imbalance;
+    if (trace::enabled()) {
+      // Per-iteration imbalance, visible as a counter track in the Chrome
+      // trace and as a gauge/distribution in the metrics registry.
+      trace::Tracer::instance().counter(me, "lb.imbalance",
+                                        comm.now(), imbalance);
+      trace::MetricsRegistry::instance().set_gauge("lb.imbalance", me,
+                                                   imbalance);
+      trace::MetricsRegistry::instance().observe("lb.imbalance", imbalance);
+    }
     if (iter == options.max_iterations) break;
     if (imbalance <= options.tolerance) break;
 
@@ -125,6 +136,10 @@ BalanceResult balance_pairwise(const comm::Communicator& comm,
             result.held_payloads.begin() +
                 static_cast<std::ptrdiff_t>(off + static_cast<std::size_t>(
                                                       doubles_per_item)));
+      }
+      if (trace::enabled() && !picked.empty()) {
+        trace::MetricsRegistry::instance().add(
+            "lb.items_moved", me, static_cast<double>(picked.size()));
       }
       comm.send<Item>(partner, kTagItems, ship_items);
       comm.send<Origin>(partner, kTagOrigins, ship_origins);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "trace/tracer.hpp"
 #include "util/error.hpp"
 
 namespace agcm::physics {
@@ -64,8 +65,11 @@ PhysicsStepStats Physics::step(dynamics::State& state) {
                          sizeof(double));
   }
 
+  simnet::RankContext& ctx = mesh_->world().context();
+
   if (!config_.load_balance) {
     // Straight local pass.
+    AGCM_TRACE_SPAN("physics.columns", ctx);
     const double t0 = clock.now();
     double local_flops = 0.0;
     std::size_t c = 0;
@@ -92,8 +96,12 @@ PhysicsStepStats Physics::step(dynamics::State& state) {
 
   // --- Scheme-3 load-balanced pass ---------------------------------------
   const double t_bal0 = clock.now();
-  const lb::BalanceResult balanced = lb::balance_pairwise(
-      mesh_->world(), items, payloads, per_item, config_.lb_options);
+  lb::BalanceResult balanced;
+  {
+    AGCM_TRACE_SPAN("physics.balance", ctx);
+    balanced = lb::balance_pairwise(mesh_->world(), items, payloads, per_item,
+                                    config_.lb_options);
+  }
   stats.imbalance_before = balanced.imbalance_before;
   stats.imbalance_after = balanced.imbalance_after;
   stats.lb_iterations = balanced.iterations;
@@ -107,27 +115,33 @@ PhysicsStepStats Physics::step(dynamics::State& state) {
   const double t_comp0 = clock.now();
   double local_flops = 0.0;
   std::vector<double> held_payloads = balanced.held_payloads;
-  for (std::size_t c = 0; c < balanced.held_items.size(); ++c) {
-    double* p =
-        held_payloads.data() + c * static_cast<std::size_t>(per_item);
-    const double flops = run_one_column(
-        balanced.held_items[c].id, state.step, state.time_sec,
-        std::span<double>(p, static_cast<std::size_t>(nlev)),
-        std::span<double>(p + nlev, static_cast<std::size_t>(nlev)));
-    local_flops += flops;
-    double* r = results.data() + c * static_cast<std::size_t>(per_result);
-    for (int x = 0; x < per_item; ++x) r[x] = p[x];
-    r[per_item] = flops;
+  {
+    AGCM_TRACE_SPAN("physics.columns", ctx);
+    for (std::size_t c = 0; c < balanced.held_items.size(); ++c) {
+      double* p =
+          held_payloads.data() + c * static_cast<std::size_t>(per_item);
+      const double flops = run_one_column(
+          balanced.held_items[c].id, state.step, state.time_sec,
+          std::span<double>(p, static_cast<std::size_t>(nlev)),
+          std::span<double>(p + nlev, static_cast<std::size_t>(nlev)));
+      local_flops += flops;
+      double* r = results.data() + c * static_cast<std::size_t>(per_result);
+      for (int x = 0; x < per_item; ++x) r[x] = p[x];
+      r[per_item] = flops;
+    }
+    clock.compute(local_flops);
   }
-  clock.compute(local_flops);
   timings_.local_flops = local_flops;
   timings_.compute_sec = clock.now() - t_comp0;
 
   // Route results home and write them back.
   const double t_ret0 = clock.now();
-  const std::vector<double> mine = lb::return_to_owners(
-      mesh_->world(), balanced, results, per_result,
-      static_cast<int>(ncols));
+  std::vector<double> mine;
+  {
+    AGCM_TRACE_SPAN("physics.balance", ctx);
+    mine = lb::return_to_owners(mesh_->world(), balanced, results, per_result,
+                                static_cast<int>(ncols));
+  }
   {
     std::size_t c = 0;
     for (int j = 0; j < box_.nj; ++j) {

@@ -1,0 +1,224 @@
+#include "trace/export.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/format.hpp"
+#include "util/stats.hpp"
+
+namespace agcm::trace {
+
+std::vector<PhaseStats> aggregate_phases(const Tracer& tracer) {
+  const std::vector<SpanRecord> all = tracer.spans();
+
+  struct Accumulator {
+    std::uint64_t calls = 0;
+    TimeSplit split;
+    std::map<int, double> per_rank;  ///< rank -> summed duration
+  };
+  std::map<std::string, Accumulator> by_name;
+  int max_rank = -1;
+  for (const SpanRecord& span : all) {
+    Accumulator& acc = by_name[span.name];
+    acc.calls += 1;
+    acc.split.compute += span.split.compute;
+    acc.split.overhead += span.split.overhead;
+    acc.split.wait += span.split.wait;
+    acc.per_rank[span.rank] += span.duration();
+    max_rank = std::max(max_rank, span.rank);
+  }
+  // The rank universe: prefer the run's declared size so ranks that never
+  // entered a phase count as zero load in the imbalance.
+  const int nranks = std::max(tracer.nranks(), max_rank + 1);
+
+  std::vector<PhaseStats> out;
+  out.reserve(by_name.size());
+  for (const auto& [name, acc] : by_name) {
+    PhaseStats stats;
+    stats.name = name;
+    stats.calls = acc.calls;
+    stats.ranks_touched = static_cast<int>(acc.per_rank.size());
+    stats.split = acc.split;
+
+    std::vector<double> loads(static_cast<std::size_t>(std::max(nranks, 1)),
+                              0.0);
+    for (const auto& [rank, seconds] : acc.per_rank) {
+      if (rank >= 0 && rank < static_cast<int>(loads.size()))
+        loads[static_cast<std::size_t>(rank)] = seconds;
+      stats.total_sec += seconds;
+    }
+    stats.mean_rank_sec = mean(loads);
+    stats.max_rank_sec = max_value(loads);
+    stats.imbalance = load_imbalance(loads);
+    out.push_back(std::move(stats));
+  }
+  std::sort(out.begin(), out.end(), [](const PhaseStats& a,
+                                       const PhaseStats& b) {
+    return a.total_sec != b.total_sec ? a.total_sec > b.total_sec
+                                      : a.name < b.name;
+  });
+  return out;
+}
+
+Table phase_table(const std::vector<PhaseStats>& phases,
+                  const std::string& title) {
+  Table table(title, {"Phase", "Calls", "Ranks", "Mean/rank s", "Max/rank s",
+                      "Compute s", "Overhead s", "Wait s", "Imbalance"});
+  for (const PhaseStats& p : phases) {
+    table.add_row({p.name, std::to_string(p.calls),
+                   std::to_string(p.ranks_touched),
+                   Table::num(p.mean_rank_sec, 6), Table::num(p.max_rank_sec, 6),
+                   Table::num(p.split.compute, 6),
+                   Table::num(p.split.overhead, 6), Table::num(p.split.wait, 6),
+                   Table::pct(p.imbalance, 1)});
+  }
+  return table;
+}
+
+JsonValue phases_json(const std::vector<PhaseStats>& phases) {
+  JsonValue out = JsonValue::array();
+  for (const PhaseStats& p : phases) {
+    JsonValue entry = JsonValue::object();
+    entry.set("name", p.name);
+    entry.set("calls", static_cast<std::uint64_t>(p.calls));
+    entry.set("ranks", p.ranks_touched);
+    entry.set("total_sec", p.total_sec);
+    entry.set("mean_rank_sec", p.mean_rank_sec);
+    entry.set("max_rank_sec", p.max_rank_sec);
+    entry.set("compute_sec", p.split.compute);
+    entry.set("overhead_sec", p.split.overhead);
+    entry.set("wait_sec", p.split.wait);
+    entry.set("imbalance", p.imbalance);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+namespace {
+constexpr double kSecToTraceUs = 1.0e6;  ///< virtual seconds -> trace "us"
+}  // namespace
+
+JsonValue chrome_trace(const Tracer& tracer) {
+  JsonValue events = JsonValue::array();
+
+  // Metadata: name the process and one thread per rank.
+  {
+    JsonValue meta = JsonValue::object();
+    meta.set("name", "process_name");
+    meta.set("ph", "M");
+    meta.set("pid", 0);
+    meta.set("tid", 0);
+    JsonValue args = JsonValue::object();
+    args.set("name", "virtual multicomputer");
+    meta.set("args", std::move(args));
+    events.push_back(std::move(meta));
+  }
+  const int nranks = std::max(tracer.nranks(), 1);
+  for (int rank = 0; rank < nranks; ++rank) {
+    JsonValue meta = JsonValue::object();
+    meta.set("name", "thread_name");
+    meta.set("ph", "M");
+    meta.set("pid", 0);
+    meta.set("tid", rank);
+    JsonValue args = JsonValue::object();
+    args.set("name", "rank " + std::to_string(rank));
+    meta.set("args", std::move(args));
+    events.push_back(std::move(meta));
+  }
+
+  // Spans as complete ("X") events with the breakdown split in args.
+  for (const SpanRecord& span : tracer.spans()) {
+    JsonValue event = JsonValue::object();
+    event.set("name", span.name);
+    event.set("cat", "virtual");
+    event.set("ph", "X");
+    event.set("ts", span.begin * kSecToTraceUs);
+    event.set("dur", span.duration() * kSecToTraceUs);
+    event.set("pid", 0);
+    event.set("tid", span.rank);
+    JsonValue args = JsonValue::object();
+    args.set("compute_sec", span.split.compute);
+    args.set("overhead_sec", span.split.overhead);
+    args.set("wait_sec", span.split.wait);
+    event.set("args", std::move(args));
+    events.push_back(std::move(event));
+  }
+
+  // Instants and counter samples.
+  for (int rank = 0; rank < Tracer::kMaxRanks; ++rank) {
+    for (const Event& e : tracer.events(rank)) {
+      if (e.kind == EventKind::kInstant) {
+        JsonValue event = JsonValue::object();
+        event.set("name", e.name);
+        event.set("cat", "virtual");
+        event.set("ph", "i");
+        event.set("s", "t");  // thread-scoped instant
+        event.set("ts", e.t * kSecToTraceUs);
+        event.set("pid", 0);
+        event.set("tid", rank);
+        events.push_back(std::move(event));
+      } else if (e.kind == EventKind::kCounter) {
+        JsonValue event = JsonValue::object();
+        event.set("name", e.name);
+        event.set("cat", "virtual");
+        event.set("ph", "C");
+        event.set("ts", e.t * kSecToTraceUs);
+        event.set("pid", 0);
+        event.set("tid", rank);
+        JsonValue args = JsonValue::object();
+        args.set("value", e.value);
+        event.set("args", std::move(args));
+        events.push_back(std::move(event));
+      }
+    }
+  }
+
+  JsonValue root = JsonValue::object();
+  root.set("traceEvents", std::move(events));
+  root.set("displayTimeUnit", "ms");
+  JsonValue other = JsonValue::object();
+  other.set("clock", "virtual");
+  other.set(
+      "note",
+      "timestamps are deterministic virtual seconds (shown as us), not host "
+      "time");
+  root.set("otherData", std::move(other));
+  return root;
+}
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  return chrome_trace(tracer).dump();
+}
+
+void write_chrome_trace(const Tracer& tracer, const std::string& path) {
+  write_text_file(path, chrome_trace_json(tracer));
+}
+
+std::string trace_csv(const Tracer& tracer) {
+  std::string out =
+      "rank,name,depth,begin_s,end_s,duration_s,compute_s,overhead_s,wait_s\n";
+  for (const SpanRecord& span : tracer.spans()) {
+    out += std::to_string(span.rank);
+    out += ',';
+    // Names are dotted identifiers; quote defensively anyway.
+    out += '"';
+    out += span.name;
+    out += '"';
+    out += ',';
+    out += std::to_string(span.depth);
+    for (const double v : {span.begin, span.end, span.duration(),
+                           span.split.compute, span.split.overhead,
+                           span.split.wait}) {
+      out += ',';
+      out += JsonValue::number_repr(v);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void write_trace_csv(const Tracer& tracer, const std::string& path) {
+  write_text_file(path, trace_csv(tracer));
+}
+
+}  // namespace agcm::trace

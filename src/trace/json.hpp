@@ -1,0 +1,116 @@
+// Minimal JSON document model for the observability layer.
+//
+// JsonValue is an ordered, mutable JSON tree (objects preserve insertion
+// order so serialised output is deterministic — a requirement for the
+// bit-identical bench artefacts the harness diffs across runs). It backs
+// both the Chrome-trace exporter (trace/export.hpp) and the per-bench
+// `BENCH_<name>.json` reports (bench/bench_common.hpp), and ships a strict
+// recursive-descent parser used by the tests to prove the exporters emit
+// well-formed JSON. No external dependencies; numbers round-trip through
+// shortest-exact formatting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace agcm::trace {
+
+/// One JSON value: null, bool, number, string, array, or object.
+/// Objects are stored as insertion-ordered key/value vectors.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Member = std::pair<std::string, JsonValue>;
+  using Object = std::vector<Member>;
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}            // NOLINT
+  JsonValue(double v) : kind_(Kind::kNumber), number_(v) {}      // NOLINT
+  JsonValue(int v) : JsonValue(static_cast<double>(v)) {}        // NOLINT
+  JsonValue(std::int64_t v) : JsonValue(static_cast<double>(v)) {}  // NOLINT
+  JsonValue(std::uint64_t v) : JsonValue(static_cast<double>(v)) {}  // NOLINT
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}  // NOLINT
+  JsonValue(std::string_view s) : JsonValue(std::string(s)) {}   // NOLINT
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}        // NOLINT
+
+  static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const Array& items() const { return array_; }
+  const Object& members() const { return object_; }
+
+  /// Appends to an array (converts a null value into an array first).
+  JsonValue& push_back(JsonValue v);
+
+  /// Sets `key` in an object (converts a null value into an object first);
+  /// replaces an existing member in place, preserving its position.
+  JsonValue& set(std::string_view key, JsonValue v);
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  JsonValue* find(std::string_view key);
+
+  std::size_t size() const {
+    return is_array() ? array_.size() : is_object() ? object_.size() : 0;
+  }
+
+  /// Compact single-line serialisation (deterministic).
+  std::string dump() const;
+  /// Pretty serialisation with 2-space indentation (deterministic).
+  std::string dump_pretty() const;
+
+  /// Strict parser; returns std::nullopt (with a message in `error`, when
+  /// given) on any malformed input, including trailing garbage.
+  static std::optional<JsonValue> parse(std::string_view text,
+                                        std::string* error = nullptr);
+
+  /// Escapes a string for inclusion in JSON (adds surrounding quotes).
+  static std::string quote(std::string_view s);
+  /// Formats a double the way dump() does (shortest exact round trip;
+  /// integral values print without a decimal point).
+  static std::string number_repr(double v);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Writes `content` to `path`, replacing the file; throws DataError on I/O
+/// failure.
+void write_text_file(const std::string& path, std::string_view content);
+
+/// Reads a whole file; throws DataError when unreadable.
+std::string read_text_file(const std::string& path);
+
+}  // namespace agcm::trace

@@ -1,0 +1,77 @@
+// Process-wide metrics registry: named per-rank counters, per-rank gauges
+// and merged distributions.
+//
+// The registry complements the Tracer (trace/tracer.hpp): spans answer
+// "where did the virtual time go", counters answer "how much traffic /
+// work flowed through a subsystem" — messages and bytes per rank from
+// `comm`, migrated items from `loadbalance`, executed column flops from
+// `physics`. Counters are keyed by (metric name, rank) so cross-rank
+// merges (totals, per-rank tables, the paper's load_imbalance metric) fall
+// out of one snapshot.
+//
+// Thread model: rank threads record concurrently; every mutation takes one
+// process-wide mutex (correctness over micro-optimisation — recording is
+// gated on trace::enabled(), so the lock is never touched when
+// observability is off). All recording methods are no-ops while disabled.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/json.hpp"
+#include "util/stats.hpp"
+
+namespace agcm::trace {
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Drops every recorded metric. Must not race with recording.
+  void reset();
+
+  // --- recording (no-ops while trace::enabled() is false) ------------------
+
+  /// Adds `delta` to counter `name` for `rank` (monotone accumulator).
+  void add(std::string_view name, int rank, double delta = 1.0);
+
+  /// Sets gauge `name` for `rank` (last value wins).
+  void set_gauge(std::string_view name, int rank, double value);
+
+  /// Feeds one sample into the merged distribution `name` (Welford stats,
+  /// merged across all ranks).
+  void observe(std::string_view name, double value);
+
+  // --- snapshot ------------------------------------------------------------
+
+  /// Sum of counter `name` across ranks (0 when absent).
+  double total(const std::string& name) const;
+
+  /// Per-rank counter or gauge values, sorted by rank.
+  std::vector<std::pair<int, double>> per_rank(const std::string& name) const;
+
+  /// Merged distribution for `name` (empty stats when absent).
+  RunningStats distribution(const std::string& name) const;
+
+  /// All known metric names (counters, gauges, distributions), sorted.
+  std::vector<std::string> names() const;
+
+  /// Full snapshot: {"counters": {name: {"total": x, "per_rank": {...}}},
+  /// "gauges": {...}, "distributions": {name: {count, mean, min, max, ...}}}.
+  JsonValue to_json() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  using PerRank = std::map<int, double>;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, PerRank> counters_;
+  std::map<std::string, PerRank> gauges_;
+  std::map<std::string, RunningStats> distributions_;
+};
+
+}  // namespace agcm::trace

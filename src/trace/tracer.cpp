@@ -1,0 +1,164 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+
+namespace agcm::trace {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::Tracer() {
+  ranks_.resize(static_cast<std::size_t>(kMaxRanks));
+}
+
+void Tracer::begin_run(int nranks) {
+  nranks_ = std::min(nranks, kMaxRanks);
+  for (auto& buf : ranks_) {
+    if (buf) {
+      buf->events.clear();
+      buf->open.clear();
+    }
+  }
+}
+
+Tracer::RankBuffer* Tracer::buffer(int rank) {
+  if (rank < 0 || rank >= kMaxRanks) return nullptr;
+  auto& slot = ranks_[static_cast<std::size_t>(rank)];
+  // Lazy allocation is safe: only the owning rank thread touches its slot.
+  if (!slot) slot = std::make_unique<RankBuffer>();
+  return slot.get();
+}
+
+const Tracer::RankBuffer* Tracer::buffer(int rank) const {
+  if (rank < 0 || rank >= kMaxRanks) return nullptr;
+  return ranks_[static_cast<std::size_t>(rank)].get();
+}
+
+void Tracer::begin_span(int rank, std::string_view name, double t,
+                        const TimeSplit& at) {
+  if (!enabled()) return;
+  RankBuffer* buf = buffer(rank);
+  if (!buf) return;
+  Event event;
+  event.name.assign(name);
+  event.t = t;
+  event.split = at;
+  event.kind = EventKind::kSpanBegin;
+  event.depth = static_cast<std::int32_t>(buf->open.size());
+  buf->open.push_back(buf->events.size());
+  buf->events.push_back(std::move(event));
+}
+
+void Tracer::end_span(int rank, double t, const TimeSplit& at) {
+  if (!enabled()) return;
+  RankBuffer* buf = buffer(rank);
+  if (!buf || buf->open.empty()) return;  // unmatched end: drop
+  const std::size_t begin_index = buf->open.back();
+  buf->open.pop_back();
+  const Event& begin = buf->events[begin_index];
+  Event event;
+  event.name = begin.name;
+  event.t = t;
+  event.split = at;
+  event.kind = EventKind::kSpanEnd;
+  event.depth = begin.depth;
+  buf->events.push_back(std::move(event));
+}
+
+void Tracer::instant(int rank, std::string_view name, double t) {
+  if (!enabled()) return;
+  RankBuffer* buf = buffer(rank);
+  if (!buf) return;
+  Event event;
+  event.name.assign(name);
+  event.t = t;
+  event.kind = EventKind::kInstant;
+  event.depth = static_cast<std::int32_t>(buf->open.size());
+  buf->events.push_back(std::move(event));
+}
+
+void Tracer::counter(int rank, std::string_view name, double t, double value) {
+  if (!enabled()) return;
+  RankBuffer* buf = buffer(rank);
+  if (!buf) return;
+  Event event;
+  event.name.assign(name);
+  event.t = t;
+  event.value = value;
+  event.kind = EventKind::kCounter;
+  event.depth = static_cast<std::int32_t>(buf->open.size());
+  buf->events.push_back(std::move(event));
+}
+
+const std::vector<Event>& Tracer::events(int rank) const {
+  static const std::vector<Event> kEmpty;
+  const RankBuffer* buf = buffer(rank);
+  return buf ? buf->events : kEmpty;
+}
+
+std::vector<SpanRecord> Tracer::spans() const {
+  std::vector<SpanRecord> out;
+  for (int rank = 0; rank < kMaxRanks; ++rank) {
+    const RankBuffer* buf = buffer(rank);
+    if (!buf || buf->events.empty()) continue;
+    // Match begin/end pairs with a local stack; emit in begin order.
+    std::vector<std::size_t> stack;
+    std::vector<SpanRecord> rank_spans;
+    std::vector<std::size_t> record_of_begin(buf->events.size(), 0);
+    for (std::size_t i = 0; i < buf->events.size(); ++i) {
+      const Event& event = buf->events[i];
+      if (event.kind == EventKind::kSpanBegin) {
+        SpanRecord record;
+        record.name = event.name;
+        record.rank = rank;
+        record.depth = event.depth;
+        record.begin = event.t;
+        record.end = event.t;
+        record.split = {};  // filled at the matching end
+        record_of_begin[i] = rank_spans.size();
+        stack.push_back(i);
+        rank_spans.push_back(std::move(record));
+      } else if (event.kind == EventKind::kSpanEnd && !stack.empty()) {
+        const std::size_t begin_index = stack.back();
+        stack.pop_back();
+        SpanRecord& record = rank_spans[record_of_begin[begin_index]];
+        record.end = event.t;
+        record.split = event.split - buf->events[begin_index].split;
+      }
+    }
+    // Drop unterminated spans (still on the stack).
+    if (!stack.empty()) {
+      std::vector<bool> dead(rank_spans.size(), false);
+      for (const std::size_t begin_index : stack)
+        dead[record_of_begin[begin_index]] = true;
+      std::vector<SpanRecord> kept;
+      kept.reserve(rank_spans.size());
+      for (std::size_t i = 0; i < rank_spans.size(); ++i)
+        if (!dead[i]) kept.push_back(std::move(rank_spans[i]));
+      rank_spans = std::move(kept);
+    }
+    out.insert(out.end(), std::make_move_iterator(rank_spans.begin()),
+               std::make_move_iterator(rank_spans.end()));
+  }
+  return out;
+}
+
+std::size_t Tracer::total_events() const {
+  std::size_t n = 0;
+  for (int rank = 0; rank < kMaxRanks; ++rank) {
+    const RankBuffer* buf = buffer(rank);
+    if (buf) n += buf->events.size();
+  }
+  return n;
+}
+
+}  // namespace agcm::trace

@@ -32,6 +32,12 @@ class Table {
   const std::string& title() const { return title_; }
   std::size_t rows() const { return rows_.size(); }
 
+  // Structured access so tables can be re-emitted as JSON (bench output).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& row_cells() const {
+    return rows_;
+  }
+
  private:
   std::string title_;
   std::vector<std::string> headers_;

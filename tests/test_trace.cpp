@@ -1,0 +1,380 @@
+// Tests for the observability layer: JSON model, tracer semantics,
+// exporter well-formedness, metrics registry, and the two invariants the
+// design promises — (1) a whole-program span's compute/overhead/wait split
+// is bitwise equal to simnet's own TimeBreakdown, and (2) enabling tracing
+// changes virtual-time results by exactly zero.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/model.hpp"
+#include "simnet/machine.hpp"
+#include "trace/export.hpp"
+#include "trace/json.hpp"
+#include "trace/metrics.hpp"
+#include "trace/tracer.hpp"
+
+namespace agcm::trace {
+namespace {
+
+/// RAII guard: enables tracing with fresh buffers, restores "off" after.
+struct TraceGuard {
+  explicit TraceGuard(int nranks) {
+    set_enabled(true);
+    Tracer::instance().begin_run(nranks);
+    MetricsRegistry::instance().reset();
+  }
+  ~TraceGuard() { set_enabled(false); }
+};
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// ---------------------------------------------------------------- JSON ----
+
+TEST(Json, DumpAndParseRoundTrip) {
+  JsonValue root = JsonValue::object();
+  root.set("name", "agcm");
+  root.set("pi", 3.14159);
+  root.set("n", 42);
+  root.set("flag", true);
+  root.set("nothing", JsonValue());
+  JsonValue arr = JsonValue::array();
+  arr.push_back(1.5);
+  arr.push_back("two");
+  root.set("arr", std::move(arr));
+
+  const std::string text = root.dump();
+  std::string error;
+  const auto parsed = JsonValue::parse(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->find("name")->as_string(), "agcm");
+  EXPECT_DOUBLE_EQ(parsed->find("pi")->as_number(), 3.14159);
+  EXPECT_DOUBLE_EQ(parsed->find("n")->as_number(), 42.0);
+  EXPECT_TRUE(parsed->find("flag")->as_bool());
+  EXPECT_TRUE(parsed->find("nothing")->is_null());
+  ASSERT_EQ(parsed->find("arr")->size(), 2u);
+  // Integral numbers print without a decimal point.
+  EXPECT_NE(text.find("\"n\":42"), std::string::npos);
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::parse("{\"a\":}").has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\":1,}").has_value());
+  EXPECT_FALSE(JsonValue::parse("[1,2] garbage").has_value());
+  EXPECT_FALSE(JsonValue::parse("\"unterminated").has_value());
+  EXPECT_FALSE(JsonValue::parse("nul").has_value());
+  EXPECT_TRUE(JsonValue::parse("[1,2,3]").has_value());
+}
+
+TEST(Json, DumpIsDeterministic) {
+  auto build = [] {
+    JsonValue v = JsonValue::object();
+    v.set("b", 2.0 / 3.0);
+    v.set("a", 1e-7);
+    return v.dump();
+  };
+  EXPECT_EQ(build(), build());
+  // Insertion order is preserved (not sorted).
+  EXPECT_LT(build().find("\"b\""), build().find("\"a\""));
+}
+
+TEST(Json, NumberReprRoundTripsExactly) {
+  for (double v : {0.1, 1.0 / 3.0, 1e300, -2.5e-13, 4503599627370497.0}) {
+    const std::string repr = JsonValue::number_repr(v);
+    EXPECT_TRUE(same_bits(std::strtod(repr.c_str(), nullptr), v)) << repr;
+  }
+}
+
+// -------------------------------------------------------------- tracer ----
+
+TEST(Tracer, SpanNestingDepthsAndOrdering) {
+  TraceGuard guard(1);
+  simnet::Machine machine(simnet::MachineProfile::ideal());
+  machine.run(1, [](simnet::RankContext& ctx) {
+    AGCM_TRACE_SPAN("outer", ctx);
+    ctx.clock().compute(10.0);
+    {
+      AGCM_TRACE_SPAN("inner", ctx);
+      ctx.clock().compute(5.0);
+    }
+    ctx.clock().compute(1.0);
+  });
+
+  const auto spans = Tracer::instance().spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Rank-major, begin-order: outer first.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].depth, 1);
+  // Containment in virtual time.
+  EXPECT_LE(spans[0].begin, spans[1].begin);
+  EXPECT_GE(spans[0].end, spans[1].end);
+  EXPECT_DOUBLE_EQ(spans[0].duration(), 16.0);  // ideal: 1 flop = 1 s
+  EXPECT_DOUBLE_EQ(spans[1].duration(), 5.0);
+
+  // Raw events are in non-decreasing virtual time.
+  const auto& events = Tracer::instance().events(0);
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LE(events[i - 1].t, events[i].t);
+}
+
+TEST(Tracer, DisabledRecordingCostsNothingAndStoresNothing) {
+  set_enabled(false);
+  Tracer::instance().begin_run(1);
+  Tracer::instance().begin_span(0, "ghost", 1.0, {});
+  Tracer::instance().end_span(0, 2.0, {});
+  Tracer::instance().instant(0, "ghost", 1.0);
+  Tracer::instance().counter(0, "ghost", 1.0, 42.0);
+  EXPECT_EQ(Tracer::instance().total_events(), 0u);
+}
+
+TEST(Tracer, UnterminatedSpansAreDropped) {
+  TraceGuard guard(1);
+  Tracer::instance().begin_span(0, "open", 0.0, {});
+  Tracer::instance().begin_span(0, "closed", 1.0, {});
+  Tracer::instance().end_span(0, 2.0, {});
+  const auto spans = Tracer::instance().spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "closed");
+}
+
+TEST(Tracer, WholeProgramSpanSplitEqualsMachineBreakdown) {
+  TraceGuard guard(2);
+  simnet::Machine machine(simnet::MachineProfile::cray_t3d());
+  const auto result = machine.run(2, [](simnet::RankContext& ctx) {
+    AGCM_TRACE_SPAN("prog", ctx);
+    ctx.clock().compute(1.0e6, 0.7);
+    ctx.clock().memory_traffic(1.0e4);
+  });
+
+  const auto spans = Tracer::instance().spans();
+  ASSERT_EQ(spans.size(), 2u);
+  for (const SpanRecord& s : spans) {
+    const simnet::TimeBreakdown& b =
+        result.breakdowns[static_cast<std::size_t>(s.rank)];
+    EXPECT_TRUE(same_bits(s.split.compute, b.compute));
+    EXPECT_TRUE(same_bits(s.split.overhead, b.overhead));
+    EXPECT_TRUE(same_bits(s.split.wait, b.wait));
+    EXPECT_TRUE(same_bits(s.end, b.total()));
+  }
+}
+
+// ----------------------------------------------------------- exporters ----
+
+TEST(Export, ChromeTraceIsWellFormedAndVirtualTimeScaled) {
+  TraceGuard guard(2);
+  Tracer::instance().begin_span(0, "phase", 0.25, {0.25, 0.0, 0.0});
+  Tracer::instance().end_span(0, 1.25, {1.0, 0.25, 0.0});
+  Tracer::instance().counter(1, "imbalance", 0.5, 0.37);
+  Tracer::instance().instant(1, "marker", 0.75);
+
+  const std::string text = chrome_trace_json(Tracer::instance());
+  std::string error;
+  const auto doc = JsonValue::parse(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  int complete = 0, counters = 0, instants = 0, metadata = 0;
+  for (const JsonValue& e : events->items()) {
+    const std::string& ph = e.find("ph")->as_string();
+    if (ph == "X") {
+      ++complete;
+      // Virtual seconds -> trace microseconds.
+      EXPECT_DOUBLE_EQ(e.find("ts")->as_number(), 0.25e6);
+      EXPECT_DOUBLE_EQ(e.find("dur")->as_number(), 1.0e6);
+      ASSERT_NE(e.find("args"), nullptr);
+      EXPECT_DOUBLE_EQ(e.find("args")->find("compute_sec")->as_number(), 0.75);
+    } else if (ph == "C") {
+      ++counters;
+    } else if (ph == "i") {
+      ++instants;
+    } else if (ph == "M") {
+      ++metadata;
+    }
+  }
+  EXPECT_EQ(complete, 1);
+  EXPECT_EQ(counters, 1);
+  EXPECT_EQ(instants, 1);
+  EXPECT_GE(metadata, 3);  // process name + one thread name per rank
+}
+
+TEST(Export, AggregatePhasesCountsIdleRanksAsImbalance) {
+  TraceGuard guard(4);
+  // Only rank 0 does this phase: with 4 ranks, (max-avg)/avg = 3.
+  Tracer::instance().begin_span(0, "lonely", 0.0, {});
+  Tracer::instance().end_span(0, 2.0, {2.0, 0.0, 0.0});
+
+  const auto phases = aggregate_phases(Tracer::instance());
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].name, "lonely");
+  EXPECT_EQ(phases[0].calls, 1u);
+  EXPECT_EQ(phases[0].ranks_touched, 1);
+  EXPECT_DOUBLE_EQ(phases[0].total_sec, 2.0);
+  EXPECT_DOUBLE_EQ(phases[0].max_rank_sec, 2.0);
+  EXPECT_DOUBLE_EQ(phases[0].mean_rank_sec, 0.5);
+  EXPECT_DOUBLE_EQ(phases[0].imbalance, 3.0);
+}
+
+TEST(Export, CsvHasOneLinePerSpan) {
+  TraceGuard guard(1);
+  Tracer::instance().begin_span(0, "a", 0.0, {});
+  Tracer::instance().end_span(0, 1.0, {1.0, 0.0, 0.0});
+  Tracer::instance().begin_span(0, "b", 1.0, {1.0, 0.0, 0.0});
+  Tracer::instance().end_span(0, 3.0, {2.0, 1.0, 0.0});
+
+  const std::string csv = trace_csv(Tracer::instance());
+  int lines = 0;
+  for (char c : csv)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 3);  // header + 2 spans
+  EXPECT_EQ(csv.rfind("rank,name,depth,begin_s,end_s,duration_s,", 0), 0u);
+}
+
+// ------------------------------------------------------------- metrics ----
+
+TEST(Metrics, PerRankCountersMergeAcrossRanks) {
+  TraceGuard guard(3);
+  auto& reg = MetricsRegistry::instance();
+  reg.add("comm.messages", 0, 2.0);
+  reg.add("comm.messages", 1, 3.0);
+  reg.add("comm.messages", 1, 1.0);
+  reg.add("comm.messages", 2, 4.0);
+
+  EXPECT_DOUBLE_EQ(reg.total("comm.messages"), 10.0);
+  const auto per_rank = reg.per_rank("comm.messages");
+  ASSERT_EQ(per_rank.size(), 3u);
+  EXPECT_EQ(per_rank[1].first, 1);
+  EXPECT_DOUBLE_EQ(per_rank[1].second, 4.0);
+
+  reg.set_gauge("lb.imbalance", 0, 0.35);
+  reg.set_gauge("lb.imbalance", 0, 0.06);  // gauges overwrite
+  EXPECT_DOUBLE_EQ(reg.per_rank("lb.imbalance")[0].second, 0.06);
+
+  reg.observe("lat", 1.0);
+  reg.observe("lat", 3.0);
+  EXPECT_EQ(reg.distribution("lat").count(), 2u);
+  EXPECT_DOUBLE_EQ(reg.distribution("lat").mean(), 2.0);
+
+  // to_json reflects all three families and parses back.
+  std::string error;
+  const auto doc = JsonValue::parse(reg.to_json().dump(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_DOUBLE_EQ(
+      doc->find("counters")->find("comm.messages")->find("total")->as_number(),
+      10.0);
+}
+
+TEST(Metrics, ConcurrentAddsSumExactly) {
+  TraceGuard guard(8);
+  auto& reg = MetricsRegistry::instance();
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (int i = 0; i < kAdds; ++i) reg.add("hot", t, 1.0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(reg.total("hot"), double(kThreads) * kAdds);
+  for (const auto& [rank, value] : reg.per_rank("hot"))
+    EXPECT_DOUBLE_EQ(value, double(kAdds));
+}
+
+TEST(Metrics, NoOpWhenDisabled) {
+  MetricsRegistry::instance().reset();
+  set_enabled(false);
+  MetricsRegistry::instance().add("ghost", 0, 1.0);
+  MetricsRegistry::instance().set_gauge("ghost", 0, 1.0);
+  MetricsRegistry::instance().observe("ghost", 1.0);
+  EXPECT_TRUE(MetricsRegistry::instance().names().empty());
+}
+
+// --------------------------------------------- end-to-end model runs ------
+
+core::ModelConfig tiny_model() {
+  core::ModelConfig cfg;
+  cfg.nlon = 24;
+  cfg.nlat = 16;
+  cfg.nlev = 3;
+  cfg.mesh_rows = 2;
+  cfg.mesh_cols = 2;
+  cfg.physics_load_balance = true;  // exercise the lb counters too
+  return cfg;
+}
+
+TEST(TraceModel, TracingChangesVirtualResultsByExactlyZero) {
+  set_enabled(false);
+  const auto plain = core::run_model(tiny_model(), 2, 1);
+
+  {
+    TraceGuard guard(4);
+    const auto traced = core::run_model(tiny_model(), 2, 1);
+    ASSERT_EQ(plain.rank_breakdowns.size(), traced.rank_breakdowns.size());
+    for (std::size_t r = 0; r < plain.rank_breakdowns.size(); ++r) {
+      EXPECT_TRUE(same_bits(plain.rank_breakdowns[r].compute,
+                            traced.rank_breakdowns[r].compute));
+      EXPECT_TRUE(same_bits(plain.rank_breakdowns[r].overhead,
+                            traced.rank_breakdowns[r].overhead));
+      EXPECT_TRUE(same_bits(plain.rank_breakdowns[r].wait,
+                            traced.rank_breakdowns[r].wait));
+    }
+    EXPECT_TRUE(same_bits(plain.per_step.total(), traced.per_step.total()));
+  }
+}
+
+TEST(TraceModel, ModelRankSpansMatchReportBreakdownsBitwise) {
+  TraceGuard guard(4);
+  const auto report = core::run_model(tiny_model(), 2, 1);
+  const auto spans = Tracer::instance().spans();
+
+  int found = 0;
+  for (const SpanRecord& s : spans) {
+    if (s.name != "model.rank") continue;
+    ++found;
+    const auto& b = report.rank_breakdowns[static_cast<std::size_t>(s.rank)];
+    EXPECT_TRUE(same_bits(s.split.compute, b.compute));
+    EXPECT_TRUE(same_bits(s.split.overhead, b.overhead));
+    EXPECT_TRUE(same_bits(s.split.wait, b.wait));
+  }
+  EXPECT_EQ(found, 4);
+
+  // The instrumented phases all appear, and comm counters were recorded.
+  const auto phases = aggregate_phases(Tracer::instance());
+  auto has = [&](const char* name) {
+    for (const auto& p : phases)
+      if (p.name == name) return true;
+    return false;
+  };
+  EXPECT_TRUE(has("model.rank"));
+  EXPECT_TRUE(has("model.step"));
+  EXPECT_TRUE(has("dynamics.filter"));
+  EXPECT_TRUE(has("dynamics.fd"));
+  EXPECT_TRUE(has("physics.columns"));
+  EXPECT_TRUE(has("physics.balance"));
+  EXPECT_TRUE(has("comm.barrier"));
+  EXPECT_GT(MetricsRegistry::instance().total("comm.messages_sent"), 0.0);
+  EXPECT_GT(MetricsRegistry::instance().total("comm.bytes_sent"), 0.0);
+  // The balancer ran and published its per-iteration imbalance gauge (the
+  // tiny uniform model may legitimately move zero items).
+  EXPECT_FALSE(MetricsRegistry::instance().per_rank("lb.imbalance").empty());
+
+  // The whole trace exports to well-formed Chrome JSON.
+  std::string error;
+  EXPECT_TRUE(
+      JsonValue::parse(chrome_trace_json(Tracer::instance()), &error)
+          .has_value())
+      << error;
+}
+
+}  // namespace
+}  // namespace agcm::trace

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json / TRACE_*.json artefacts written by the bench
+harness (see docs/observability.md). Standard library only, so CI can run
+it anywhere.
+
+Usage:
+    tools/check_bench_json.py BENCH_fig1_breakdown.json [more.json ...]
+
+Exit status is nonzero if any file fails validation. BENCH files are
+checked against the agcm-bench-v1 schema; files whose top level contains
+"traceEvents" are checked as Chrome Trace Event Format documents.
+"""
+from __future__ import annotations
+
+import json
+import sys
+
+
+def fail(path: str, msg: str) -> None:
+    raise ValueError(f"{path}: {msg}")
+
+
+def check_table(path: str, i: int, table: object) -> None:
+    if not isinstance(table, dict):
+        fail(path, f"tables[{i}] is not an object")
+    for key in ("title", "headers", "rows"):
+        if key not in table:
+            fail(path, f"tables[{i}] missing '{key}'")
+    headers = table["headers"]
+    rows = table["rows"]
+    if not isinstance(headers, list) or not all(
+        isinstance(h, str) for h in headers
+    ):
+        fail(path, f"tables[{i}].headers must be a list of strings")
+    if not isinstance(rows, list):
+        fail(path, f"tables[{i}].rows must be a list")
+    for j, row in enumerate(rows):
+        if not isinstance(row, list) or not all(
+            isinstance(c, str) for c in row
+        ):
+            fail(path, f"tables[{i}].rows[{j}] must be a list of strings")
+        if len(row) > len(headers):
+            fail(
+                path,
+                f"tables[{i}].rows[{j}] has {len(row)} cells but only "
+                f"{len(headers)} headers",
+            )
+
+
+def check_bench(path: str, doc: dict) -> str:
+    if doc.get("schema") != "agcm-bench-v1":
+        fail(path, f"unexpected schema {doc.get('schema')!r}")
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        fail(path, "'bench' must be a non-empty string")
+    tables = doc.get("tables")
+    if not isinstance(tables, list):
+        fail(path, "'tables' must be a list")
+    for i, table in enumerate(tables):
+        check_table(path, i, table)
+    if "phases" in doc:
+        if not isinstance(doc["phases"], list):
+            fail(path, "'phases' must be a list")
+        for i, phase in enumerate(doc["phases"]):
+            for key in ("name", "calls", "total_sec"):
+                if key not in phase:
+                    fail(path, f"phases[{i}] missing '{key}'")
+    if "metrics" in doc and not isinstance(doc["metrics"], dict):
+        fail(path, "'metrics' must be an object")
+    return f"bench '{doc['bench']}', {len(tables)} table(s)"
+
+
+def check_chrome_trace(path: str, doc: dict) -> str:
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(path, "'traceEvents' must be a list")
+    if not events:
+        fail(path, "'traceEvents' is empty")
+    phases = {"X": 0, "C": 0, "i": 0, "M": 0}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(path, f"traceEvents[{i}] is not an object")
+        ph = event.get("ph")
+        if not isinstance(ph, str):
+            fail(path, f"traceEvents[{i}] missing 'ph'")
+        phases[ph] = phases.get(ph, 0) + 1
+        if ph == "X":
+            for key in ("name", "ts", "dur", "pid", "tid"):
+                if key not in event:
+                    fail(path, f"traceEvents[{i}] ('X') missing '{key}'")
+            if event["dur"] < 0:
+                fail(path, f"traceEvents[{i}] has negative duration")
+    if phases.get("M", 0) < 1:
+        fail(path, "no metadata ('M') events — rank naming is missing")
+    return (
+        f"chrome trace: {phases.get('X', 0)} spans, "
+        f"{phases.get('C', 0)} counter samples, "
+        f"{phases.get('i', 0)} instants"
+    )
+
+
+def check_file(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        fail(path, "top level must be an object")
+    if "traceEvents" in doc:
+        return check_chrome_trace(path, doc)
+    return check_bench(path, doc)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv[1:]:
+        try:
+            summary = check_file(path)
+        except (ValueError, OSError, json.JSONDecodeError) as err:
+            print(f"FAIL {path}: {err}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"ok   {path}: {summary}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
