@@ -73,7 +73,9 @@ class Communicator {
                       std::to_string(data.size_bytes()) + " bytes, got " +
                       std::to_string(bytes.size()));
     }
-    std::memcpy(data.data(), bytes.data(), bytes.size());
+    // Guard: an empty payload's data() may be null, and memcpy's pointer
+    // arguments must be non-null even for size 0 (UBSan enforces this).
+    if (!bytes.empty()) std::memcpy(data.data(), bytes.data(), bytes.size());
   }
 
   /// Receives a message of unknown length; returns the element vector.
@@ -87,7 +89,7 @@ class Communicator {
       throw CommError("recv_any_size: payload not a multiple of sizeof(T)");
     }
     std::vector<T> out(bytes.size() / sizeof(T));
-    std::memcpy(out.data(), bytes.data(), bytes.size());
+    if (!bytes.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
     return out;
   }
 

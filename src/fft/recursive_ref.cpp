@@ -1,0 +1,144 @@
+// Seed recursive FFT, preserved as a baseline — see recursive_ref.hpp.
+// This code is intentionally NOT optimised; it must keep the seed's exact
+// cost profile (per-call heap scratch, factor re-scan, modulo twiddle
+// lookups) so the bench's speedup numbers stay honest.
+#include "fft/recursive_ref.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "fft/fft.hpp"  // prime_factors
+#include "util/error.hpp"
+
+namespace agcm::fft {
+
+RecursiveFftPlan::RecursiveFftPlan(int n)
+    : n_(n), factors_(prime_factors(n)) {
+  check_config(n >= 1, "FFT length must be >= 1");
+  twiddle_.resize(static_cast<std::size_t>(n_));
+  for (int j = 0; j < n_; ++j) {
+    const double angle = -2.0 * std::numbers::pi * j / n_;
+    twiddle_[static_cast<std::size_t>(j)] = {std::cos(angle), std::sin(angle)};
+  }
+}
+
+void RecursiveFftPlan::forward(std::span<Complex> data) const {
+  AGCM_ASSERT(static_cast<int>(data.size()) == n_);
+  transform(data, /*inverse=*/false);
+}
+
+void RecursiveFftPlan::inverse(std::span<Complex> data) const {
+  AGCM_ASSERT(static_cast<int>(data.size()) == n_);
+  transform(data, /*inverse=*/true);
+  const double scale = 1.0 / n_;
+  for (Complex& c : data) c *= scale;
+}
+
+void RecursiveFftPlan::transform(std::span<Complex> data, bool inverse) const {
+  std::vector<Complex> scratch(static_cast<std::size_t>(n_));
+  recurse(data.data(), n_, 1, scratch.data(), inverse);
+}
+
+void RecursiveFftPlan::recurse(Complex* data, int n, int stride,
+                               Complex* scratch, bool inverse) const {
+  if (n == 1) return;
+  // Smallest prime factor of n.
+  int p = n;
+  for (int f : factors_) {
+    if (n % f == 0) {
+      p = f;
+      break;
+    }
+  }
+  const int m = n / p;
+
+  // Sub-transforms over the p decimated sequences.
+  for (int r = 0; r < p; ++r) {
+    recurse(data + static_cast<std::ptrdiff_t>(r) * stride, m, stride * p,
+            scratch, inverse);
+  }
+
+  // Combine: X[k1*m + k2] = sum_r w_n^{r*(k1*m+k2)} F_r[k2],
+  // where F_r[q] lives at data[(r + q*p) * stride].
+  const int root_step = n_ / n;  // w_n = w_{n_}^{root_step}
+  for (int k2 = 0; k2 < m; ++k2) {
+    for (int k1 = 0; k1 < p; ++k1) {
+      const int k = k1 * m + k2;
+      Complex acc{0.0, 0.0};
+      for (int r = 0; r < p; ++r) {
+        const long long e =
+            (static_cast<long long>(r) * k) % n * root_step;
+        Complex w = twiddle_[static_cast<std::size_t>(e % n_)];
+        if (inverse) w = std::conj(w);
+        acc += w * data[static_cast<std::ptrdiff_t>(r + k2 * p) * stride];
+      }
+      scratch[k] = acc;
+    }
+  }
+  for (int k = 0; k < n; ++k)
+    data[static_cast<std::ptrdiff_t>(k) * stride] = scratch[k];
+}
+
+std::vector<Complex> RecursiveFftPlan::forward_real(
+    std::span<const double> line) const {
+  AGCM_ASSERT(static_cast<int>(line.size()) == n_);
+  std::vector<Complex> spectrum(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i)
+    spectrum[static_cast<std::size_t>(i)] = {line[static_cast<std::size_t>(i)], 0.0};
+  forward(spectrum);
+  return spectrum;
+}
+
+void RecursiveFftPlan::inverse_to_real(std::span<Complex> spectrum,
+                                       std::span<double> line) const {
+  AGCM_ASSERT(static_cast<int>(spectrum.size()) == n_);
+  AGCM_ASSERT(static_cast<int>(line.size()) == n_);
+  inverse(spectrum);
+  for (int i = 0; i < n_; ++i)
+    line[static_cast<std::size_t>(i)] = spectrum[static_cast<std::size_t>(i)].real();
+}
+
+void RecursiveFftPlan::forward_real_pair(std::span<const double> x,
+                                         std::span<const double> y,
+                                         std::span<Complex> sx,
+                                         std::span<Complex> sy) const {
+  AGCM_ASSERT(static_cast<int>(x.size()) == n_ &&
+              static_cast<int>(y.size()) == n_);
+  AGCM_ASSERT(static_cast<int>(sx.size()) == n_ &&
+              static_cast<int>(sy.size()) == n_);
+  std::vector<Complex> z(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i)
+    z[static_cast<std::size_t>(i)] = {x[static_cast<std::size_t>(i)],
+                                      y[static_cast<std::size_t>(i)]};
+  forward(z);
+  // Split: X[k] = (Z[k] + conj(Z[n-k])) / 2, Y[k] = -i (Z[k] - conj(Z[n-k])) / 2.
+  for (int k = 0; k < n_; ++k) {
+    const Complex zk = z[static_cast<std::size_t>(k)];
+    const Complex zc =
+        std::conj(z[static_cast<std::size_t>((n_ - k) % n_)]);
+    sx[static_cast<std::size_t>(k)] = 0.5 * (zk + zc);
+    sy[static_cast<std::size_t>(k)] = Complex{0.0, -0.5} * (zk - zc);
+  }
+}
+
+void RecursiveFftPlan::inverse_to_real_pair(std::span<const Complex> sx,
+                                            std::span<const Complex> sy,
+                                            std::span<double> x,
+                                            std::span<double> y) const {
+  AGCM_ASSERT(static_cast<int>(sx.size()) == n_ &&
+              static_cast<int>(sy.size()) == n_);
+  AGCM_ASSERT(static_cast<int>(x.size()) == n_ &&
+              static_cast<int>(y.size()) == n_);
+  std::vector<Complex> z(static_cast<std::size_t>(n_));
+  for (int k = 0; k < n_; ++k)
+    z[static_cast<std::size_t>(k)] =
+        sx[static_cast<std::size_t>(k)] +
+        Complex{0.0, 1.0} * sy[static_cast<std::size_t>(k)];
+  inverse(z);
+  for (int i = 0; i < n_; ++i) {
+    x[static_cast<std::size_t>(i)] = z[static_cast<std::size_t>(i)].real();
+    y[static_cast<std::size_t>(i)] = z[static_cast<std::size_t>(i)].imag();
+  }
+}
+
+}  // namespace agcm::fft

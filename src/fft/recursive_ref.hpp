@@ -1,0 +1,54 @@
+// The ORIGINAL (seed) recursive mixed-radix FFT, preserved verbatim as a
+// performance and correctness baseline.
+//
+// This is the implementation the iterative engine in fft/fft.hpp replaced:
+// a recursive Cooley-Tukey decimation in time that heap-allocates scratch
+// on every transform, re-scans the factor list at each recursion level, and
+// resolves twiddles through `(r*k) % n * root_step % n` modulo arithmetic
+// per butterfly. It is kept (not deleted) so that
+//   * bench/bench_fft_kernel.cpp can report the new engine's host-time
+//     speedup against the exact seed baseline, release after release, and
+//   * tests can cross-check the two engines against each other on top of
+//     the O(n^2) reference DFT.
+// Do not use it on hot paths.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace agcm::fft {
+
+using Complex = std::complex<double>;
+
+/// Seed-era recursive plan; same public surface as the seed FftPlan.
+class RecursiveFftPlan {
+ public:
+  explicit RecursiveFftPlan(int n);
+
+  int size() const { return n_; }
+
+  void forward(std::span<Complex> data) const;
+  void inverse(std::span<Complex> data) const;
+
+  std::vector<Complex> forward_real(std::span<const double> line) const;
+  void inverse_to_real(std::span<Complex> spectrum,
+                       std::span<double> line) const;
+
+  void forward_real_pair(std::span<const double> x, std::span<const double> y,
+                         std::span<Complex> sx, std::span<Complex> sy) const;
+  void inverse_to_real_pair(std::span<const Complex> sx,
+                            std::span<const Complex> sy, std::span<double> x,
+                            std::span<double> y) const;
+
+ private:
+  void transform(std::span<Complex> data, bool inverse) const;
+  void recurse(Complex* data, int n, int stride, Complex* scratch,
+               bool inverse) const;
+
+  int n_;
+  std::vector<int> factors_;
+  std::vector<Complex> twiddle_;
+};
+
+}  // namespace agcm::fft

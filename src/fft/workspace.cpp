@@ -1,0 +1,37 @@
+#include "fft/workspace.hpp"
+
+namespace agcm::fft {
+
+FftWorkspace& FftWorkspace::local() {
+  thread_local FftWorkspace workspace;
+  return workspace;
+}
+
+const FftPlan& FftWorkspace::plan(int n) {
+  for (const Entry& e : plans_) {
+    if (e.n == n) return *e.plan;
+  }
+  plans_.push_back(Entry{n, std::make_unique<FftPlan>(n)});
+  return *plans_.back().plan;
+}
+
+std::span<Complex> FftWorkspace::complex_buffer(std::size_t count) {
+  if (complex_.size() < count) complex_.resize(count);
+  return {complex_.data(), count};
+}
+
+std::span<int> FftWorkspace::index_buffer(std::size_t count) {
+  if (index_.size() < count) index_.resize(count);
+  return {index_.data(), count};
+}
+
+void FftWorkspace::reset() {
+  plans_.clear();
+  plans_.shrink_to_fit();
+  complex_.clear();
+  complex_.shrink_to_fit();
+  index_.clear();
+  index_.shrink_to_fit();
+}
+
+}  // namespace agcm::fft

@@ -1,0 +1,72 @@
+// Thread-local FFT workspace: plan cache + reusable scratch buffers.
+//
+// The virtual multicomputer runs one host thread per virtual rank, so a
+// thread_local workspace is exactly a *per-rank* workspace: every rank gets
+// its own plans and buffers, no locking, no false sharing, and — after the
+// first call at a given length — no heap allocation on any filter or
+// transform path (the acceptance criterion the allocation-counting test in
+// tests/test_fft_alloc.cpp enforces).
+//
+// Lifetime rules (see docs/fft.md):
+//   * `local()` lives as long as its thread; plan references returned by
+//     `plan(n)` remain valid for the thread's lifetime (plans are never
+//     evicted).
+//   * At most ONE `complex_buffer()` borrow may be live at a time per
+//     thread. FftPlan transforms never borrow, so a caller may hold the
+//     buffer across forward/inverse calls; helpers that borrow internally
+//     (FftPlan::inverse_to_real_pair, the serial filter kernels) must not
+//     be called while the caller holds a borrow.
+//   * `index_buffer()` is an independent borrow with the same single-borrow
+//     rule; the batched line filter holds one of each simultaneously.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fft/fft.hpp"
+
+namespace agcm::fft {
+
+class FftWorkspace {
+ public:
+  /// The calling thread's (= the virtual rank's) workspace.
+  static FftWorkspace& local();
+
+  FftWorkspace(const FftWorkspace&) = delete;
+  FftWorkspace& operator=(const FftWorkspace&) = delete;
+
+  /// Cached plan for length n; built on first request, identical to a
+  /// freshly constructed FftPlan(n) thereafter (plan construction is
+  /// deterministic, so cached and fresh plans produce bit-identical
+  /// transforms — tested in tests/test_fft.cpp).
+  const FftPlan& plan(int n);
+
+  /// Reusable complex scratch of at least `count` elements. Grows (and
+  /// allocates) only when `count` exceeds the high-water mark; contents are
+  /// unspecified on entry.
+  std::span<Complex> complex_buffer(std::size_t count);
+
+  /// Reusable int scratch (pairing/index tables), same growth contract.
+  std::span<int> index_buffer(std::size_t count);
+
+  std::size_t plan_count() const { return plans_.size(); }
+  std::size_t complex_capacity() const { return complex_.size(); }
+
+  /// Drops all cached plans and buffers (tests only — invalidates every
+  /// outstanding plan reference and borrow).
+  void reset();
+
+ private:
+  FftWorkspace() = default;
+
+  struct Entry {
+    int n;
+    std::unique_ptr<FftPlan> plan;
+  };
+  std::vector<Entry> plans_;  ///< few distinct lengths; linear scan
+  std::vector<Complex> complex_;
+  std::vector<int> index_;
+};
+
+}  // namespace agcm::fft

@@ -14,20 +14,20 @@ FilterBank::FilterBank(const grid::LatLonGrid& grid,
   const int nlon = grid.nlon();
 
   response_strong_.resize(static_cast<std::size_t>(nlat));
-  kernel_strong_.resize(static_cast<std::size_t>(nlat));
   response_weak_.resize(static_cast<std::size_t>(nlat));
+  kernel_strong_.resize(static_cast<std::size_t>(nlat));
   kernel_weak_.resize(static_cast<std::size_t>(nlat));
+  kernel_once_strong_ =
+      std::make_unique<std::once_flag[]>(static_cast<std::size_t>(nlat));
+  kernel_once_weak_ =
+      std::make_unique<std::once_flag[]>(static_cast<std::size_t>(nlat));
   for (int j = 0; j < nlat; ++j) {
     const double lat = grid.lat_center(j);
     const auto uj = static_cast<std::size_t>(j);
-    if (grid.poleward_of(j, cutoff_deg(FilterKind::kStrong))) {
+    if (grid.poleward_of(j, cutoff_deg(FilterKind::kStrong)))
       response_strong_[uj] = response_line(FilterKind::kStrong, nlon, lat);
-      kernel_strong_[uj] = kernel_from_response(response_strong_[uj]);
-    }
-    if (grid.poleward_of(j, cutoff_deg(FilterKind::kWeak))) {
+    if (grid.poleward_of(j, cutoff_deg(FilterKind::kWeak)))
       response_weak_[uj] = response_line(FilterKind::kWeak, nlon, lat);
-      kernel_weak_[uj] = kernel_from_response(response_weak_[uj]);
-    }
   }
 
   rows_.resize(variables_.size());
@@ -38,9 +38,17 @@ FilterBank::FilterBank(const grid::LatLonGrid& grid,
     }
   }
 
-  for (int v = 0; v < nvars(); ++v)
-    for (int j : rows_[static_cast<std::size_t>(v)])
-      for (int k = 0; k < grid.nlev(); ++k) lines_.push_back({v, j, k});
+  lines_by_var_.resize(variables_.size());
+  for (int v = 0; v < nvars(); ++v) {
+    const auto uv = static_cast<std::size_t>(v);
+    lines_by_var_[uv].reserve(rows_[uv].size() *
+                              static_cast<std::size_t>(grid.nlev()));
+    for (int j : rows_[uv])
+      for (int k = 0; k < grid.nlev(); ++k) {
+        lines_.push_back({v, j, k});
+        lines_by_var_[uv].push_back({v, j, k});
+      }
+  }
 }
 
 bool FilterBank::filtered(int v, int j) const {
@@ -64,16 +72,22 @@ std::span<const double> FilterBank::response(int v, int j) const {
 std::span<const double> FilterBank::kernel(int v, int j) const {
   AGCM_ASSERT(filtered(v, j));
   const auto uj = static_cast<std::size_t>(j);
-  return variables_[static_cast<std::size_t>(v)].kind == FilterKind::kStrong
-             ? std::span<const double>(kernel_strong_[uj])
-             : std::span<const double>(kernel_weak_[uj]);
+  const bool strong =
+      variables_[static_cast<std::size_t>(v)].kind == FilterKind::kStrong;
+  const std::vector<double>& resp =
+      strong ? response_strong_[uj] : response_weak_[uj];
+  std::vector<double>& kern = strong ? kernel_strong_[uj] : kernel_weak_[uj];
+  std::once_flag& once =
+      strong ? kernel_once_strong_[uj] : kernel_once_weak_[uj];
+  // Lazy build (O(nlon^2)); call_once because a const bank is shared
+  // across rank threads in the parallel-variant tests and benches.
+  std::call_once(once, [&] { kern = kernel_from_response(resp); });
+  return kern;
 }
 
-std::vector<LineKey> FilterBank::lines_of(int v) const {
-  std::vector<LineKey> out;
-  for (const LineKey& line : lines_)
-    if (line.var == v) out.push_back(line);
-  return out;
+const std::vector<LineKey>& FilterBank::lines_of(int v) const {
+  AGCM_ASSERT(v >= 0 && v < nvars());
+  return lines_by_var_[static_cast<std::size_t>(v)];
 }
 
 }  // namespace agcm::filter

@@ -3,14 +3,21 @@
 // Given the grid and the list of filtered variables (each strong or weak),
 // the bank precomputes, once:
 //   * which global latitude rows each variable filters,
-//   * the response line S(s, phi) and the equivalent convolution kernel for
-//     every (kind, latitude) pair,
+//   * the response line S(s, phi) for every (kind, latitude) pair,
 //   * the global enumeration of "data lines" (variable, latitude, layer) —
-//     the unit of work every parallel variant schedules.
+//     the unit of work every parallel variant schedules — plus the same
+//     list sliced per variable.
 // This mirrors the paper's observation that S is "independent of time and
 // height": tables are shared across layers and timesteps.
+//
+// The equivalent convolution kernels (an O(nlon^2) inverse transform per
+// row) are built lazily on first use, so FFT-variant runs never pay for
+// them. Lazy construction is guarded by std::call_once per (kind, row):
+// a const FilterBank may be shared across rank threads.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -51,8 +58,11 @@ class FilterBank {
   const std::vector<int>& rows(int v) const;
 
   /// Response line S(s, lat_j) for variable v at row j (length nlon).
+  /// One table row per (kind, latitude): all layers and variables of the
+  /// same kind share the row, so the returned span's .data() identifies it.
   std::span<const double> response(int v, int j) const;
-  /// Equivalent convolution kernel (length nlon).
+  /// Equivalent convolution kernel (length nlon). Built lazily on first
+  /// request for the (kind, row) pair; thread-safe on a shared const bank.
   std::span<const double> kernel(int v, int j) const;
 
   /// All lines (var, j, k), ordered by (var, j, k). Every parallel variant
@@ -60,17 +70,24 @@ class FilterBank {
   const std::vector<LineKey>& lines() const { return lines_; }
 
   /// Lines of a single variable, in (j, k) order (the original AGCM filtered
-  /// "one variable at a time").
-  std::vector<LineKey> lines_of(int v) const;
+  /// "one variable at a time"). Precomputed: O(1) per call.
+  const std::vector<LineKey>& lines_of(int v) const;
 
  private:
   const grid::LatLonGrid* grid_;
   std::vector<FilteredVariable> variables_;
   std::vector<std::vector<int>> rows_;  ///< per variable
-  // Tables keyed by (kind, j); weak and strong kept separately.
-  std::vector<std::vector<double>> response_strong_, kernel_strong_;
-  std::vector<std::vector<double>> response_weak_, kernel_weak_;
+  // Tables keyed by (kind, j); weak and strong kept separately. Responses
+  // are eager (cheap, and the FFT variants key pair-packing off their row
+  // addresses); kernels are lazy (O(nlon^2) each, convolution-only).
+  std::vector<std::vector<double>> response_strong_, response_weak_;
+  mutable std::vector<std::vector<double>> kernel_strong_, kernel_weak_;
+  // One flag per latitude row and kind; std::once_flag is immovable, hence
+  // the arrays. Guards the lazy kernel builds above.
+  mutable std::unique_ptr<std::once_flag[]> kernel_once_strong_;
+  mutable std::unique_ptr<std::once_flag[]> kernel_once_weak_;
   std::vector<LineKey> lines_;
+  std::vector<std::vector<LineKey>> lines_by_var_;
 };
 
 }  // namespace agcm::filter

@@ -1,6 +1,7 @@
 #include <cmath>
 #include <vector>
 
+#include "fft/workspace.hpp"
 #include "filter/serial.hpp"
 #include "filter/variants.hpp"
 #include "util/error.hpp"
@@ -10,7 +11,8 @@ namespace agcm::filter {
 FftBalancedFilter::FftBalancedFilter(const comm::Mesh2D& mesh,
                                      const grid::Decomp2D& decomp,
                                      const FilterBank& bank)
-    : PolarFilter(mesh, decomp, bank), fft_plan_(decomp.nlon()) {
+    : PolarFilter(mesh, decomp, bank),
+      fft_plan_(fft::FftWorkspace::local().plan(decomp.nlon())) {
   // One-time setup (Section 3.3): "some non-trivial set-up code is needed
   // to construct information which guides the data movements... The set-up
   // involves substantial bookkeeping and interprocessor communications."

@@ -49,9 +49,21 @@ std::vector<int> PolarFilter::local_rows(int v) const {
 }
 
 std::vector<LineKey> PolarFilter::local_lines() const {
+  // Same (var, j, k) output order as scanning bank_->lines(), but via the
+  // precomputed per-variable slices: each slice is (j, k)-sorted, so the
+  // rows inside this node's latitude band form one contiguous run found by
+  // binary search instead of a scan over every global line.
   std::vector<LineKey> out;
-  for (const LineKey& line : bank_->lines()) {
-    if (line.j >= box_.j0 && line.j < box_.j0 + box_.nj) out.push_back(line);
+  const int j_end = box_.j0 + box_.nj;
+  for (int v = 0; v < bank_->nvars(); ++v) {
+    const std::vector<LineKey>& lv = bank_->lines_of(v);
+    const auto lo = std::lower_bound(
+        lv.begin(), lv.end(), box_.j0,
+        [](const LineKey& line, int j) { return line.j < j; });
+    const auto hi = std::lower_bound(
+        lo, lv.end(), j_end,
+        [](const LineKey& line, int j) { return line.j < j; });
+    out.insert(out.end(), lo, hi);
   }
   return out;
 }

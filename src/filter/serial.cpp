@@ -4,17 +4,95 @@
 #include <cmath>
 #include <vector>
 
+#include "fft/workspace.hpp"
 #include "util/error.hpp"
 
 namespace agcm::filter {
+
+namespace {
+
+/// Filters one real line held in the packed buffer z (imaginary part zero):
+/// forward transform, spectral multiply, inverse, write the real part back.
+void filter_single_core(const fft::FftPlan& plan, std::span<double> line,
+                        std::span<const double> s_line,
+                        std::span<fft::Complex> z) {
+  const int n = plan.size();
+  for (int i = 0; i < n; ++i) {
+    z[static_cast<std::size_t>(i)] = {line[static_cast<std::size_t>(i)], 0.0};
+  }
+  plan.forward(z);
+  for (int k = 0; k < n; ++k) {
+    z[static_cast<std::size_t>(k)] *= s_line[static_cast<std::size_t>(k)];
+  }
+  plan.inverse(z);
+  for (int i = 0; i < n; ++i) {
+    line[static_cast<std::size_t>(i)] = z[static_cast<std::size_t>(i)].real();
+  }
+}
+
+/// Two-for-one core: packs z = a + i b, transforms once, applies both
+/// responses *inside the packed spectrum*, transforms back, unpacks.
+///
+/// With X[k] = (Z[k] + conj(Z[n-k]))/2 and Y[k] = -i (Z[k] - conj(Z[n-k]))/2
+/// the filtered pack is
+///   Z'[k] = s_a[k] X[k] + i s_b[k] Y[k]
+///         = (s_a[k]+s_b[k])/2 * Z[k] + (s_a[k]-s_b[k])/2 * conj(Z[n-k]),
+/// so no per-line spectrum buffers are ever materialised. When both lines
+/// share one response table row (s_a.data() == s_b.data()) the difference
+/// term vanishes *exactly* and the multiply collapses to Z'[k] = s[k] Z[k].
+void filter_pair_core(const fft::FftPlan& plan, std::span<double> a,
+                      std::span<double> b, std::span<const double> s_a,
+                      std::span<const double> s_b,
+                      std::span<fft::Complex> z) {
+  const int n = plan.size();
+  for (int i = 0; i < n; ++i) {
+    z[static_cast<std::size_t>(i)] = {a[static_cast<std::size_t>(i)],
+                                      b[static_cast<std::size_t>(i)]};
+  }
+  plan.forward(z);
+  if (s_a.data() == s_b.data()) {
+    for (int k = 0; k < n; ++k) {
+      z[static_cast<std::size_t>(k)] *= s_a[static_cast<std::size_t>(k)];
+    }
+  } else {
+    // k = 0 pairs with itself; so does k = n/2 when n is even (the loop
+    // below visits it once with k == n-k, temporaries read before writes).
+    {
+      const fft::Complex z0 = z[0];
+      const double ha = 0.5 * (s_a[0] + s_b[0]);
+      const double hb = 0.5 * (s_a[0] - s_b[0]);
+      z[0] = ha * z0 + hb * std::conj(z0);
+    }
+    for (int k = 1; n - k >= k; ++k) {
+      const auto uk = static_cast<std::size_t>(k);
+      const auto unk = static_cast<std::size_t>(n - k);
+      const fft::Complex zk = z[uk];
+      const fft::Complex znk = z[unk];
+      const double ha_k = 0.5 * (s_a[uk] + s_b[uk]);
+      const double hb_k = 0.5 * (s_a[uk] - s_b[uk]);
+      const double ha_nk = 0.5 * (s_a[unk] + s_b[unk]);
+      const double hb_nk = 0.5 * (s_a[unk] - s_b[unk]);
+      z[uk] = ha_k * zk + hb_k * std::conj(znk);
+      z[unk] = ha_nk * znk + hb_nk * std::conj(zk);
+    }
+  }
+  plan.inverse(z);
+  for (int i = 0; i < n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    a[ui] = z[ui].real();
+    b[ui] = z[ui].imag();
+  }
+}
+
+}  // namespace
 
 void filter_line_fft(const fft::FftPlan& plan, std::span<double> line,
                      std::span<const double> s_line) {
   AGCM_ASSERT(line.size() == s_line.size());
   AGCM_ASSERT(static_cast<int>(line.size()) == plan.size());
-  auto spectrum = plan.forward_real(line);
-  for (std::size_t s = 0; s < s_line.size(); ++s) spectrum[s] *= s_line[s];
-  plan.inverse_to_real(spectrum, line);
+  std::span<fft::Complex> z = fft::FftWorkspace::local().complex_buffer(
+      static_cast<std::size_t>(plan.size()));
+  filter_single_core(plan, line, s_line, z);
 }
 
 void filter_line_pair_fft(const fft::FftPlan& plan, std::span<double> line_a,
@@ -24,13 +102,71 @@ void filter_line_pair_fft(const fft::FftPlan& plan, std::span<double> line_a,
   const auto n = static_cast<std::size_t>(plan.size());
   AGCM_ASSERT(line_a.size() == n && line_b.size() == n);
   AGCM_ASSERT(s_a.size() == n && s_b.size() == n);
-  std::vector<fft::Complex> sa(n), sb(n);
-  plan.forward_real_pair(line_a, line_b, sa, sb);
-  for (std::size_t s = 0; s < n; ++s) {
-    sa[s] *= s_a[s];
-    sb[s] *= s_b[s];
+  std::span<fft::Complex> z = fft::FftWorkspace::local().complex_buffer(n);
+  filter_pair_core(plan, line_a, line_b, s_a, s_b, z);
+}
+
+void filter_lines_fft(const fft::FftPlan& plan, const FilterBank& bank,
+                      std::span<const LineKey> lines,
+                      std::span<double> data) {
+  const auto n = static_cast<std::size_t>(plan.size());
+  const std::size_t count = lines.size();
+  AGCM_ASSERT(data.size() == count * n);
+  if (count == 0) return;
+  auto& ws = fft::FftWorkspace::local();
+
+  // Pair-packing order: greedily match each line with the first still
+  // unpaired line sharing its response table row (pointer identity — one
+  // row per (kind, latitude), shared by all layers and variables of that
+  // kind). Leftovers pair across responses; a final odd line runs single.
+  // The schedule is deterministic and performs exactly floor(count/2)
+  // pair + (count%2) single transforms, matching the frozen virtual-clock
+  // accounting in filter_owned_lines_fft.
+  std::span<int> scratch = ws.index_buffer(2 * count);
+  int* order = scratch.data();
+  int* pending = scratch.data() + count;
+  std::size_t nord = 0;
+  std::size_t npend = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const LineKey& li = lines[i];
+    const double* key = bank.response(li.var, li.j).data();
+    std::size_t match = npend;
+    for (std::size_t p = 0; p < npend; ++p) {
+      const LineKey& lp = lines[static_cast<std::size_t>(pending[p])];
+      if (bank.response(lp.var, lp.j).data() == key) {
+        match = p;
+        break;
+      }
+    }
+    if (match < npend) {
+      order[nord++] = pending[match];
+      order[nord++] = static_cast<int>(i);
+      pending[match] = pending[--npend];  // swap-remove (deterministic)
+    } else {
+      pending[npend++] = static_cast<int>(i);
+    }
   }
-  plan.inverse_to_real_pair(sa, sb, line_a, line_b);
+  for (std::size_t p = 0; p < npend; ++p) order[nord++] = pending[p];
+  AGCM_ASSERT(nord == count);
+
+  std::span<fft::Complex> z = ws.complex_buffer(n);
+  auto line_at = [&](int idx) {
+    return std::span<double>(data.data() + static_cast<std::size_t>(idx) * n,
+                             n);
+  };
+  std::size_t p = 0;
+  for (; p + 1 < count; p += 2) {
+    const LineKey& la = lines[static_cast<std::size_t>(order[p])];
+    const LineKey& lb = lines[static_cast<std::size_t>(order[p + 1])];
+    filter_pair_core(plan, line_at(order[p]), line_at(order[p + 1]),
+                     bank.response(la.var, la.j), bank.response(lb.var, lb.j),
+                     z);
+  }
+  if (p < count) {
+    const LineKey& la = lines[static_cast<std::size_t>(order[p])];
+    filter_single_core(plan, line_at(order[p]),
+                       bank.response(la.var, la.j), z);
+  }
 }
 
 void filter_line_convolution(std::span<double> line,

@@ -60,7 +60,7 @@ class FftTransposeFilter final : public PolarFilter {
   std::string_view name() const override { return "fft-transpose"; }
 
  private:
-  fft::FftPlan fft_plan_;
+  const fft::FftPlan& fft_plan_;  // cached in the rank's FftWorkspace
   RowTransposePlan plan_;
 };
 
@@ -81,7 +81,7 @@ class FftBalancedFilter final : public PolarFilter {
   double setup_cost_sec() const { return setup_cost_sec_; }
 
  private:
-  fft::FftPlan fft_plan_;
+  const fft::FftPlan& fft_plan_;  // cached in the rank's FftWorkspace
   BalancedFilterPlan plan_;
   double setup_cost_sec_ = 0.0;
 };

@@ -8,6 +8,8 @@
 
 #include "fft/dft_ref.hpp"
 #include "fft/fft.hpp"
+#include "fft/recursive_ref.hpp"
+#include "fft/workspace.hpp"
 #include "util/rng.hpp"
 
 namespace agcm::fft {
@@ -184,6 +186,153 @@ TEST(Convolution, DeltaKernelIsIdentity) {
   std::vector<double> delta{1.0, 0.0, 0.0, 0.0};
   const auto out = circular_convolution(a, delta);
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(out[i], a[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Iterative-engine acceptance sweep: every length in {2..16, 36, 72, 144,
+// 360, 500} (all small radices, the generic radices 7/11/13, and the AGCM
+// grid lengths), each path checked against the O(n^2) reference DFT with a
+// tight 1e-12 * n bound, plus exact round trips.
+
+class EngineSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineSweep, ForwardMatchesReferenceDft) {
+  const int n = GetParam();
+  const FftPlan plan(n);
+  auto x = random_signal(n, 1000 + static_cast<std::uint64_t>(n));
+  const auto expected = dft(x);
+  plan.forward(x);
+  EXPECT_LT(max_err(x, expected), 1e-12 * n) << "n=" << n;
+}
+
+TEST_P(EngineSweep, InverseMatchesReferenceIdft) {
+  const int n = GetParam();
+  const FftPlan plan(n);
+  auto x = random_signal(n, 2000 + static_cast<std::uint64_t>(n));
+  const auto expected = idft(x);
+  plan.inverse(x);
+  EXPECT_LT(max_err(x, expected), 1e-12 * n) << "n=" << n;
+}
+
+TEST_P(EngineSweep, ForwardInverseRoundTrip) {
+  const int n = GetParam();
+  const FftPlan plan(n);
+  const auto original = random_signal(n, 3000 + static_cast<std::uint64_t>(n));
+  auto x = original;
+  plan.forward(x);
+  plan.inverse(x);
+  EXPECT_LT(max_err(x, original), 1e-12 * n) << "n=" << n;
+}
+
+TEST_P(EngineSweep, RealPathMatchesReferenceDft) {
+  const int n = GetParam();
+  const FftPlan plan(n);
+  Rng rng(4000 + static_cast<std::uint64_t>(n));
+  std::vector<double> line(static_cast<std::size_t>(n));
+  for (double& v : line) v = rng.uniform(-2.0, 2.0);
+  std::vector<Complex> packed(line.size());
+  for (std::size_t i = 0; i < line.size(); ++i) packed[i] = {line[i], 0.0};
+  const auto expected = dft(packed);
+  std::vector<Complex> spectrum(line.size());
+  plan.forward_real(line, spectrum);
+  EXPECT_LT(max_err(spectrum, expected), 1e-12 * n) << "n=" << n;
+  // Round trip back to the real line.
+  std::vector<double> back(line.size());
+  plan.inverse_to_real(spectrum, back);
+  for (std::size_t i = 0; i < line.size(); ++i)
+    EXPECT_NEAR(back[i], line[i], 1e-12 * n);
+}
+
+TEST_P(EngineSweep, RealPairPathMatchesReferenceDft) {
+  const int n = GetParam();
+  const FftPlan plan(n);
+  Rng rng(5000 + static_cast<std::uint64_t>(n));
+  std::vector<double> x(static_cast<std::size_t>(n)), y(x.size());
+  for (double& v : x) v = rng.uniform(-2.0, 2.0);
+  for (double& v : y) v = rng.uniform(-2.0, 2.0);
+  std::vector<Complex> px(x.size()), py(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    px[i] = {x[i], 0.0};
+    py[i] = {y[i], 0.0};
+  }
+  const auto ex = dft(px);
+  const auto ey = dft(py);
+  std::vector<Complex> sx(x.size()), sy(y.size());
+  plan.forward_real_pair(x, y, sx, sy);
+  EXPECT_LT(max_err(sx, ex), 1e-12 * n) << "n=" << n;
+  EXPECT_LT(max_err(sy, ey), 1e-12 * n) << "n=" << n;
+  // Round trip both lines through the single shared inverse transform.
+  std::vector<double> x2(x.size()), y2(y.size());
+  plan.inverse_to_real_pair(sx, sy, x2, y2);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x2[i], x[i], 1e-12 * n);
+    EXPECT_NEAR(y2[i], y[i], 1e-12 * n);
+  }
+}
+
+TEST_P(EngineSweep, AgreesWithSeedRecursiveEngine) {
+  const int n = GetParam();
+  const FftPlan plan(n);
+  const RecursiveFftPlan seed(n);
+  auto a = random_signal(n, 6000 + static_cast<std::uint64_t>(n));
+  auto b = a;
+  plan.forward(a);
+  seed.forward(b);
+  EXPECT_LT(max_err(a, b), 1e-12 * n) << "n=" << n;
+  plan.inverse(a);
+  seed.inverse(b);
+  EXPECT_LT(max_err(a, b), 1e-12 * n) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, EngineSweep,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                                           13, 14, 15, 16, 36, 72, 144, 360,
+                                           500));
+
+TEST(FftPlanStructure, StageRadicesMultiplyToLength) {
+  for (int n : {2, 6, 12, 36, 72, 144, 360, 500, 97}) {
+    const FftPlan plan(n);
+    int prod = 1;
+    for (int r : plan.stage_radices()) prod *= r;
+    EXPECT_EQ(prod, n) << "n=" << n;
+    EXPECT_EQ(plan.stage_count(),
+              static_cast<int>(plan.stage_radices().size()));
+  }
+}
+
+TEST(FftWorkspaceCache, CachedPlanMatchesFreshPlanBitwise) {
+  // Plan construction is deterministic, so the workspace-cached plan and a
+  // fresh plan must produce *bit-identical* transforms.
+  auto& ws = FftWorkspace::local();
+  for (int n : {72, 144, 500}) {
+    const FftPlan fresh(n);
+    const FftPlan& cached = ws.plan(n);
+    EXPECT_EQ(cached.size(), n);
+    auto a = random_signal(n, 7000 + static_cast<std::uint64_t>(n));
+    auto b = a;
+    fresh.forward(a);
+    cached.forward(b);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].real(), b[i].real()) << "n=" << n << " k=" << i;
+      EXPECT_EQ(a[i].imag(), b[i].imag()) << "n=" << n << " k=" << i;
+    }
+    fresh.inverse(a);
+    cached.inverse(b);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].real(), b[i].real()) << "n=" << n << " k=" << i;
+      EXPECT_EQ(a[i].imag(), b[i].imag()) << "n=" << n << " k=" << i;
+    }
+  }
+}
+
+TEST(FftWorkspaceCache, PlanReferenceIsStableAndNotDuplicated) {
+  auto& ws = FftWorkspace::local();
+  const std::size_t before = ws.plan_count();
+  const FftPlan& p1 = ws.plan(60);
+  const FftPlan& p2 = ws.plan(60);
+  EXPECT_EQ(&p1, &p2);  // same cached instance, never rebuilt
+  ws.plan(60);
+  EXPECT_LE(ws.plan_count(), before + 1);
 }
 
 TEST(FlopModels, MonotoneAndOrdered) {
