@@ -60,8 +60,28 @@ FilterCosts measure_filter(filter::FilterAlgorithm algorithm,
     grid::Array3D<double>* fields[] = {&state.u, &state.v, &state.h,
                                        &state.theta, &state.q};
     // Reset traffic counters after setup so only apply() traffic counts.
-    world.barrier();
-    if (world.rank() == 0) ctx.network().reset_counters();
+    // The reset must be quiescent: a barrier-sandwiched reset races against
+    // barrier stragglers (the binomial broadcast's forwarded messages and
+    // the next reduce's leaf sends land before or after the reset depending
+    // on thread timing), which made the messages column wobble by up to
+    // ~2(P-1) once the transport got fast enough to lose the race. Instead
+    // rank 0 resets while every other rank is provably blocked between its
+    // READY send and the START recv, so no message can straddle the reset:
+    // the counted traffic is exactly the P-1 START releases, the clock-
+    // realigning barrier below, apply(), and the closing barrier —
+    // deterministic under any interleaving. The barrier after the gate
+    // re-aligns all virtual clocks, and apply()'s virtual duration is
+    // invariant under a uniform shift of the synchronized start time, so
+    // the virtual s/apply column is unchanged.
+    constexpr int kReady = 3101, kStart = 3102;
+    if (world.rank() == 0) {
+      for (int r = 1; r < world.size(); ++r) (void)world.recv_value<int>(r, kReady);
+      ctx.network().reset_counters();
+      for (int r = 1; r < world.size(); ++r) world.send_value<int>(r, kStart, 1);
+    } else {
+      world.send_value<int>(0, kReady, 1);
+      (void)world.recv_value<int>(0, kStart);
+    }
     world.barrier();
     const double t0 = world.now();
     filt->apply(fields);

@@ -16,6 +16,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "comm/packed.hpp"
 #include "simnet/machine.hpp"
 #include "trace/metrics.hpp"
 #include "trace/tracer.hpp"
@@ -108,6 +109,57 @@ class Communicator {
     recv<T>(src, tag, recv_data);
   }
 
+  // --- zero-copy pooled transport ------------------------------------------
+  //
+  // The pooled path packs a message *once*, directly into the wire buffer:
+  // acquire (or packer) hands out recycled storage, the caller fills it, and
+  // send_buffer moves it into the network with no further copies. On the
+  // receive side, recv_buffer / recv_view hand the pooled payload back to the
+  // caller, who reads it in place; the storage recycles when the handle dies.
+
+  /// Borrows a `bytes`-sized wire buffer from the machine's recycling pool.
+  Buffer acquire(std::size_t bytes) const {
+    return ctx_->acquire_buffer(bytes);
+  }
+
+  /// Convenience: a cursor-checked writer over a freshly acquired buffer.
+  PackedWriter packer(std::size_t bytes) const {
+    return PackedWriter(acquire(bytes));
+  }
+
+  /// Moves a fully packed buffer into the network — the zero-copy send.
+  void send_buffer(int dst, int tag, Buffer&& payload) const {
+    check_tag(tag);
+    record_send(payload.size());
+    ctx_->send_bytes(global(dst), combine_tag(tag), std::move(payload));
+  }
+
+  /// Sends the remaining contents of a writer (must be exactly full).
+  void send_packed(int dst, int tag, PackedWriter&& writer) const {
+    send_buffer(dst, tag, writer.take());
+  }
+
+  /// Receives a message as the pooled payload itself — read it in place.
+  Buffer recv_buffer(int src, int tag) const {
+    check_tag(tag);
+    Buffer payload = ctx_->recv_bytes(global(src), combine_tag(tag));
+    record_recv(payload.size());
+    return payload;
+  }
+
+  /// Receives a message of unknown length as a typed in-place view; the view
+  /// owns the pooled storage (the zero-copy replacement for recv_any_size).
+  template <typename T>
+  TypedView<T> recv_view(int src, int tag) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return TypedView<T>(recv_buffer(src, tag));
+  }
+
+  /// Receives a message of known length as a cursor-checked reader.
+  PackedReader recv_packed(int src, int tag) const {
+    return PackedReader(recv_buffer(src, tag));
+  }
+
   // --- collectives (all collective over this communicator) ----------------
 
   /// Binomial-tree barrier (reduce-to-root + broadcast of empty payloads).
@@ -188,6 +240,19 @@ class Communicator {
   std::vector<T> alltoallv(std::span<const T> send_data,
                            std::span<const int> send_counts,
                            std::span<const int> recv_counts) const;
+
+  /// Zero-copy personalised all-to-all. Identical message schedule, tag and
+  /// virtual-time behaviour to `alltoallv` (self block without a message,
+  /// then P-1 pairwise rounds, zero-byte messages skipped) — but instead of
+  /// staging through contiguous send/recv vectors, `pack(dst, writer)` packs
+  /// each outgoing message straight into its pooled wire buffer and
+  /// `unpack(src, reader)` consumes each payload in place. The self block
+  /// routes a pooled buffer from pack to unpack without touching the
+  /// network, so callers handle it like any other peer.
+  template <typename PackFn, typename UnpackFn>
+  void alltoallv_packed(std::span<const std::size_t> send_bytes,
+                        std::span<const std::size_t> recv_bytes,
+                        PackFn&& pack, UnpackFn&& unpack) const;
 
  private:
   Communicator(simnet::RankContext& ctx, std::vector<int> members, int rank,
@@ -471,6 +536,47 @@ std::vector<T> Communicator::alltoallv(std::span<const T> send_data,
     }
   }
   return recv_data;
+}
+
+template <typename PackFn, typename UnpackFn>
+void Communicator::alltoallv_packed(std::span<const std::size_t> send_bytes,
+                                    std::span<const std::size_t> recv_bytes,
+                                    PackFn&& pack, UnpackFn&& unpack) const {
+  AGCM_TRACE_SPAN("comm.alltoallv", *ctx_);
+  const int p = size();
+  AGCM_ASSERT(static_cast<int>(send_bytes.size()) == p);
+  AGCM_ASSERT(static_cast<int>(recv_bytes.size()) == p);
+  constexpr int kTag = kMaxUserTag - 5;
+
+  // Self block: pooled buffer handed from pack to unpack, no message and no
+  // virtual-clock activity — exactly like alltoallv's std::copy.
+  {
+    const auto ur = static_cast<std::size_t>(rank_);
+    AGCM_ASSERT(send_bytes[ur] == recv_bytes[ur]);
+    if (send_bytes[ur] > 0) {
+      PackedWriter writer(acquire(send_bytes[ur]));
+      pack(rank_, writer);
+      PackedReader reader(writer.take());
+      unpack(rank_, reader);
+    }
+  }
+  // P-1 rounds of pairwise exchange: in round s we send to (rank+s) and
+  // receive from (rank-s).
+  for (int s = 1; s < p; ++s) {
+    const int dst = (rank_ + s) % p;
+    const int src = (rank_ - s + p) % p;
+    const auto nsend = send_bytes[static_cast<std::size_t>(dst)];
+    const auto nrecv = recv_bytes[static_cast<std::size_t>(src)];
+    if (nsend > 0) {
+      PackedWriter writer(acquire(nsend));
+      pack(dst, writer);
+      send_buffer(dst, kTag, writer.take());
+    }
+    if (nrecv > 0) {
+      PackedReader reader(recv_buffer(src, kTag));
+      unpack(src, reader);
+    }
+  }
 }
 
 }  // namespace agcm::comm

@@ -44,23 +44,26 @@ void FftBalancedFilter::apply_impl(
   auto& clock = mesh().world().context().clock();
 
   // Figure 2: redistribute data rows along the latitudinal direction so
-  // every processor row holds ~sum(R_j)/M lines.
-  const std::vector<double> my_chunks =
-      extract_chunks(fields, box(), plan_.my_lines());
-  const std::vector<double> held = plan_.redistribute(mesh(), my_chunks);
+  // every processor row holds ~sum(R_j)/M lines. All staging buffers are
+  // growth-only members and both movements run on the pooled zero-copy
+  // transport: repeat applications never allocate.
+  my_chunks_.resize(plan_.my_chunk_elems());
+  extract_chunks_into(fields, box(), plan_.my_lines(), my_chunks_);
+  held_.resize(plan_.held_chunk_elems());
+  plan_.redistribute_into(mesh(), my_chunks_, held_);
 
   // Figure 3: transpose within the processor row, filter whole lines
   // locally, transpose back.
-  std::vector<double> full = plan_.row_plan().to_lines(mesh(), held);
+  full_.resize(plan_.row_plan().line_elems());
+  plan_.row_plan().to_lines_into(mesh(), held_, full_);
   const auto& owned = plan_.row_plan().owned_lines();
-  filter_owned_lines_fft(fft_plan_, bank(), owned, full, clock);
+  filter_owned_lines_fft(fft_plan_, bank(), owned, full_, clock);
 
-  const std::vector<double> held_back =
-      plan_.row_plan().to_chunks(mesh(), full);
+  plan_.row_plan().to_chunks_into(mesh(), full_, held_);
 
   // Inverse of Figure 2: restore the original data layout.
-  const std::vector<double> restored = plan_.restore(mesh(), held_back);
-  write_chunks(fields, box(), plan_.my_lines(), restored);
+  plan_.restore_into(mesh(), held_, my_chunks_);
+  write_chunks(fields, box(), plan_.my_lines(), my_chunks_);
 }
 
 }  // namespace agcm::filter

@@ -50,14 +50,18 @@ void FftTransposeFilter::apply_impl(
 
   // All weakly filtered variables are filtered concurrently, as are all
   // strongly filtered ones (Section 3.3): one transpose moves every line.
-  const std::vector<double> chunks = extract_chunks(fields, box(), lines);
-  std::vector<double> full = plan_.to_lines(mesh(), chunks);
+  // Scratch is growth-only member storage and the transposes run on the
+  // pooled zero-copy transport, so repeat applications never allocate.
+  chunks_.resize(plan_.chunk_elems());
+  extract_chunks_into(fields, box(), lines, chunks_);
+  full_.resize(plan_.line_elems());
+  plan_.to_lines_into(mesh(), chunks_, full_);
 
-  filter_owned_lines_fft(fft_plan_, bank(), plan_.owned_lines(), full,
+  filter_owned_lines_fft(fft_plan_, bank(), plan_.owned_lines(), full_,
                          clock);
 
-  const std::vector<double> back = plan_.to_chunks(mesh(), full);
-  write_chunks(fields, box(), lines, back);
+  plan_.to_chunks_into(mesh(), full_, chunks_);
+  write_chunks(fields, box(), lines, chunks_);
 }
 
 }  // namespace agcm::filter

@@ -1,4 +1,6 @@
 #include <algorithm>
+#include <cstring>
+
 #include "filter/parallel.hpp"
 
 #include "filter/implicit_zonal.hpp"
@@ -87,16 +89,25 @@ void PolarFilter::validate_fields(
   }
 }
 
-std::vector<double> extract_chunks(
-    std::span<grid::Array3D<double>* const> fields, const grid::LocalBox& box,
-    std::span<const LineKey> lines) {
-  std::vector<double> chunks;
-  chunks.reserve(lines.size() * static_cast<std::size_t>(box.ni));
+void extract_chunks_into(std::span<grid::Array3D<double>* const> fields,
+                         const grid::LocalBox& box,
+                         std::span<const LineKey> lines,
+                         std::span<double> chunks) {
+  AGCM_ASSERT(chunks.size() == lines.size() * static_cast<std::size_t>(box.ni));
+  std::size_t pos = 0;
   for (const LineKey& line : lines) {
     const auto row =
         fields[static_cast<std::size_t>(line.var)]->row(line.j - box.j0, line.k);
-    chunks.insert(chunks.end(), row.begin(), row.end());
+    std::memcpy(chunks.data() + pos, row.data(), row.size_bytes());
+    pos += row.size();
   }
+}
+
+std::vector<double> extract_chunks(
+    std::span<grid::Array3D<double>* const> fields, const grid::LocalBox& box,
+    std::span<const LineKey> lines) {
+  std::vector<double> chunks(lines.size() * static_cast<std::size_t>(box.ni));
+  extract_chunks_into(fields, box, lines, chunks);
   return chunks;
 }
 

@@ -101,8 +101,15 @@ std::unique_ptr<PolarFilter> make_filter(FilterAlgorithm algorithm,
                                          const grid::Decomp2D& decomp,
                                          const FilterBank& bank);
 
-/// Gathers this node's ni-wide chunk of every line in `lines` order into one
-/// contiguous buffer (the layout the movement plans expect).
+/// Gathers this node's ni-wide chunk of every line in `lines` order into
+/// `chunks` (size lines.size() * box.ni) — the layout the movement plans
+/// expect. Allocation-free: callers own the (growth-only) destination.
+void extract_chunks_into(std::span<grid::Array3D<double>* const> fields,
+                         const grid::LocalBox& box,
+                         std::span<const LineKey> lines,
+                         std::span<double> chunks);
+
+/// Vector-returning convenience wrapper over extract_chunks_into.
 std::vector<double> extract_chunks(
     std::span<grid::Array3D<double>* const> fields, const grid::LocalBox& box,
     std::span<const LineKey> lines);

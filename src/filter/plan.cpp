@@ -1,7 +1,9 @@
 #include "filter/plan.hpp"
 
 #include <algorithm>
+#include <cstring>
 
+#include "comm/packed.hpp"
 #include "util/error.hpp"
 
 namespace agcm::filter {
@@ -27,113 +29,114 @@ RowTransposePlan::RowTransposePlan(const comm::Mesh2D& mesh,
   }
 }
 
-std::vector<double> RowTransposePlan::to_lines(
-    const comm::Mesh2D& mesh, std::span<const double> my_chunks) const {
+void RowTransposePlan::to_lines_into(const comm::Mesh2D& mesh,
+                                     std::span<const double> my_chunks,
+                                     std::span<double> full) const {
   const auto& row = mesh.row_comm();
   auto& clock = row.context().clock();
-  const int ni = col_width_[static_cast<std::size_t>(mycol_)];
-  AGCM_ASSERT(my_chunks.size() == lines_.size() * static_cast<std::size_t>(ni));
+  const auto ni =
+      static_cast<std::size_t>(col_width_[static_cast<std::size_t>(mycol_)]);
+  AGCM_ASSERT(my_chunks.size() == lines_.size() * ni);
+  AGCM_ASSERT(full.size() == line_elems());
 
-  // Send buffer grouped by destination column; round-robin ownership means
-  // dest order interleaves, so we must permute.
-  std::vector<int> send_counts(static_cast<std::size_t>(ncols_), 0);
-  std::vector<int> recv_counts(static_cast<std::size_t>(ncols_), 0);
-  for (std::size_t q = 0; q < lines_.size(); ++q)
-    send_counts[static_cast<std::size_t>(owner_col(q))] += ni;
-  for (int c = 0; c < ncols_; ++c)
-    recv_counts[static_cast<std::size_t>(c)] =
-        static_cast<int>(owned_.size()) * col_width_[static_cast<std::size_t>(c)];
-
-  std::vector<double> send_buf;
-  send_buf.reserve(my_chunks.size());
-  for (int d = 0; d < ncols_; ++d) {
-    for (std::size_t q = 0; q < lines_.size(); ++q) {
-      if (owner_col(q) != d) continue;
-      const auto off = q * static_cast<std::size_t>(ni);
-      send_buf.insert(send_buf.end(), my_chunks.begin() + static_cast<std::ptrdiff_t>(off),
-                      my_chunks.begin() + static_cast<std::ptrdiff_t>(off + static_cast<std::size_t>(ni)));
-    }
-  }
-  clock.memory_traffic(static_cast<double>(send_buf.size()) * sizeof(double));
-
-  const std::vector<double> recv_buf =
-      row.alltoallv<double>(send_buf, send_counts, recv_counts);
-
-  // Assemble whole lines: from source column c, my owned lines arrive in
-  // owned-order, each col_width_[c] wide, at global offset col_start_[c].
-  std::vector<double> full(owned_.size() * static_cast<std::size_t>(nlon_));
-  std::size_t src_off = 0;
+  // Per-column message sizes (bytes). Round-robin ownership makes the
+  // per-destination line list pure arithmetic (q = c, c+ncols, ...), so no
+  // permutation tables and no staging buffer: each destination's chunks are
+  // gathered straight into its pooled wire buffer. The count scratch is
+  // thread_local growth-only, so the steady-state path never allocates.
+  static thread_local std::vector<std::size_t> send_tl, recv_tl;
+  send_tl.resize(static_cast<std::size_t>(ncols_));
+  recv_tl.resize(static_cast<std::size_t>(ncols_));
+  std::size_t send_total = 0;
   for (int c = 0; c < ncols_; ++c) {
-    const auto w = static_cast<std::size_t>(col_width_[static_cast<std::size_t>(c)]);
-    const auto start = static_cast<std::size_t>(col_start_[static_cast<std::size_t>(c)]);
-    for (std::size_t p = 0; p < owned_.size(); ++p) {
-      std::copy(recv_buf.begin() + static_cast<std::ptrdiff_t>(src_off),
-                recv_buf.begin() + static_cast<std::ptrdiff_t>(src_off + w),
-                full.begin() + static_cast<std::ptrdiff_t>(
-                                   p * static_cast<std::size_t>(nlon_) + start));
-      src_off += w;
-    }
+    const auto uc = static_cast<std::size_t>(c);
+    send_tl[uc] = lines_to_col(c) * ni * sizeof(double);
+    recv_tl[uc] = owned_.size() *
+                  static_cast<std::size_t>(col_width_[uc]) * sizeof(double);
+    send_total += send_tl[uc];
   }
+  clock.memory_traffic(static_cast<double>(send_total));
+
+  row.alltoallv_packed(
+      send_tl, recv_tl,
+      [&](int dst, comm::PackedWriter& w) {
+        for (std::size_t q = static_cast<std::size_t>(dst);
+             q < lines_.size(); q += static_cast<std::size_t>(ncols_)) {
+          w.write<double>(my_chunks.subspan(q * ni, ni));
+        }
+      },
+      [&](int src, comm::PackedReader& r) {
+        const auto usrc = static_cast<std::size_t>(src);
+        const auto w = static_cast<std::size_t>(col_width_[usrc]);
+        const auto start = static_cast<std::size_t>(col_start_[usrc]);
+        for (std::size_t p = 0; p < owned_.size(); ++p) {
+          const auto slice = r.view<double>(w);
+          std::memcpy(full.data() + p * static_cast<std::size_t>(nlon_) + start,
+                      slice.data(), slice.size_bytes());
+        }
+      });
   clock.memory_traffic(static_cast<double>(full.size()) * sizeof(double));
-  AGCM_ASSERT(src_off == recv_buf.size());
+}
+
+void RowTransposePlan::to_chunks_into(const comm::Mesh2D& mesh,
+                                      std::span<const double> full_lines,
+                                      std::span<double> chunks) const {
+  const auto& row = mesh.row_comm();
+  auto& clock = row.context().clock();
+  const auto ni =
+      static_cast<std::size_t>(col_width_[static_cast<std::size_t>(mycol_)]);
+  AGCM_ASSERT(full_lines.size() == line_elems());
+  AGCM_ASSERT(chunks.size() == lines_.size() * ni);
+
+  static thread_local std::vector<std::size_t> send_tl, recv_tl;
+  send_tl.resize(static_cast<std::size_t>(ncols_));
+  recv_tl.resize(static_cast<std::size_t>(ncols_));
+  std::size_t send_total = 0;
+  for (int c = 0; c < ncols_; ++c) {
+    const auto uc = static_cast<std::size_t>(c);
+    send_tl[uc] = owned_.size() *
+                  static_cast<std::size_t>(col_width_[uc]) * sizeof(double);
+    recv_tl[uc] = lines_to_col(c) * ni * sizeof(double);
+    send_total += send_tl[uc];
+  }
+  clock.memory_traffic(static_cast<double>(send_total));
+
+  row.alltoallv_packed(
+      send_tl, recv_tl,
+      [&](int dst, comm::PackedWriter& w) {
+        // Destination column gets its slice of every owned line.
+        const auto udst = static_cast<std::size_t>(dst);
+        const auto width = static_cast<std::size_t>(col_width_[udst]);
+        const auto start = static_cast<std::size_t>(col_start_[udst]);
+        for (std::size_t p = 0; p < owned_.size(); ++p) {
+          w.write<double>(full_lines.subspan(
+              p * static_cast<std::size_t>(nlon_) + start, width));
+        }
+      },
+      [&](int src, comm::PackedReader& r) {
+        // From owner column `src`: my chunks of its lines, in global line
+        // order — q = src, src+ncols, ... (arithmetic, no tables).
+        for (std::size_t q = static_cast<std::size_t>(src);
+             q < lines_.size(); q += static_cast<std::size_t>(ncols_)) {
+          const auto slice = r.view<double>(ni);
+          std::memcpy(chunks.data() + q * ni, slice.data(),
+                      slice.size_bytes());
+        }
+      });
+  clock.memory_traffic(static_cast<double>(chunks.size()) * sizeof(double));
+}
+
+std::vector<double> RowTransposePlan::to_lines(
+    const comm::Mesh2D& mesh, std::span<const double> my_chunks) const {
+  std::vector<double> full(line_elems());
+  to_lines_into(mesh, my_chunks, full);
   return full;
 }
 
 std::vector<double> RowTransposePlan::to_chunks(
     const comm::Mesh2D& mesh, std::span<const double> full_lines) const {
-  const auto& row = mesh.row_comm();
-  auto& clock = row.context().clock();
-  const int ni = col_width_[static_cast<std::size_t>(mycol_)];
-  AGCM_ASSERT(full_lines.size() ==
-              owned_.size() * static_cast<std::size_t>(nlon_));
-
-  // Send each destination column its slice of every owned line.
-  std::vector<int> send_counts(static_cast<std::size_t>(ncols_), 0);
-  std::vector<int> recv_counts(static_cast<std::size_t>(ncols_), 0);
-  for (int c = 0; c < ncols_; ++c)
-    send_counts[static_cast<std::size_t>(c)] =
-        static_cast<int>(owned_.size()) * col_width_[static_cast<std::size_t>(c)];
-  for (std::size_t q = 0; q < lines_.size(); ++q)
-    recv_counts[static_cast<std::size_t>(owner_col(q))] += ni;
-
-  std::vector<double> send_buf;
-  send_buf.reserve(lines_.size() * static_cast<std::size_t>(ni));
-  for (int c = 0; c < ncols_; ++c) {
-    const auto w = static_cast<std::size_t>(col_width_[static_cast<std::size_t>(c)]);
-    const auto start = static_cast<std::size_t>(col_start_[static_cast<std::size_t>(c)]);
-    for (std::size_t p = 0; p < owned_.size(); ++p) {
-      const auto off = p * static_cast<std::size_t>(nlon_) + start;
-      send_buf.insert(send_buf.end(),
-                      full_lines.begin() + static_cast<std::ptrdiff_t>(off),
-                      full_lines.begin() + static_cast<std::ptrdiff_t>(off + w));
-    }
-  }
-  clock.memory_traffic(static_cast<double>(send_buf.size()) * sizeof(double));
-
-  const std::vector<double> recv_buf =
-      row.alltoallv<double>(send_buf, send_counts, recv_counts);
-
-  // recv_buf is grouped by owner column; within a group, lines appear in
-  // global line order. Permute back to lines_ order.
-  std::vector<std::size_t> group_pos(static_cast<std::size_t>(ncols_), 0);
-  std::vector<std::size_t> group_off(static_cast<std::size_t>(ncols_), 0);
-  {
-    std::size_t acc = 0;
-    for (int c = 0; c < ncols_; ++c) {
-      group_off[static_cast<std::size_t>(c)] = acc;
-      acc += static_cast<std::size_t>(recv_counts[static_cast<std::size_t>(c)]);
-    }
-  }
-  std::vector<double> chunks(lines_.size() * static_cast<std::size_t>(ni));
-  for (std::size_t q = 0; q < lines_.size(); ++q) {
-    const auto c = static_cast<std::size_t>(owner_col(q));
-    const std::size_t src = group_off[c] + group_pos[c];
-    std::copy(recv_buf.begin() + static_cast<std::ptrdiff_t>(src),
-              recv_buf.begin() + static_cast<std::ptrdiff_t>(src + static_cast<std::size_t>(ni)),
-              chunks.begin() + static_cast<std::ptrdiff_t>(q * static_cast<std::size_t>(ni)));
-    group_pos[c] += static_cast<std::size_t>(ni);
-  }
-  clock.memory_traffic(static_cast<double>(chunks.size()) * sizeof(double));
+  std::vector<double> chunks(chunk_elems());
+  to_chunks_into(mesh, full_lines, chunks);
   return chunks;
 }
 
@@ -193,33 +196,95 @@ BalancedFilterPlan::BalancedFilterPlan(const comm::Mesh2D& mesh,
           ? *std::max_element(held_per_row.begin(), held_per_row.end()) / ideal
           : 1.0;
 
+  // Cached prefix offsets (elements) into the two chunk layouts: my_lines_
+  // is grouped by destination row and held_lines_ by source row, so each
+  // peer's block is a contiguous subspan — the pack/unpack closures below
+  // are single memcpys.
+  send_offsets_.assign(static_cast<std::size_t>(nrows) + 1, 0);
+  recv_offsets_.assign(static_cast<std::size_t>(nrows) + 1, 0);
+  for (int r = 0; r < nrows; ++r) {
+    const auto ur = static_cast<std::size_t>(r);
+    send_offsets_[ur + 1] =
+        send_offsets_[ur] +
+        static_cast<std::size_t>(send_lines_[ur]) * static_cast<std::size_t>(ni_);
+    recv_offsets_[ur + 1] =
+        recv_offsets_[ur] +
+        static_cast<std::size_t>(recv_lines_[ur]) * static_cast<std::size_t>(ni_);
+  }
+
   row_plan_ = RowTransposePlan(mesh, decomp, held_lines_);
+}
+
+void BalancedFilterPlan::redistribute_into(const comm::Mesh2D& mesh,
+                                           std::span<const double> my_chunks,
+                                           std::span<double> held) const {
+  const auto& col = mesh.col_comm();
+  AGCM_ASSERT(my_chunks.size() == my_chunk_elems());
+  AGCM_ASSERT(held.size() == held_chunk_elems());
+  const auto nrows = send_lines_.size();
+  static thread_local std::vector<std::size_t> send_tl, recv_tl;
+  send_tl.resize(nrows);
+  recv_tl.resize(nrows);
+  for (std::size_t r = 0; r < nrows; ++r) {
+    send_tl[r] = (send_offsets_[r + 1] - send_offsets_[r]) * sizeof(double);
+    recv_tl[r] = (recv_offsets_[r + 1] - recv_offsets_[r]) * sizeof(double);
+  }
+  // my_lines_ is ordered by global q, and dest rows are monotone in q, so
+  // the chunk buffer is already grouped by destination: no permutation.
+  col.alltoallv_packed(
+      send_tl, recv_tl,
+      [&](int dst, comm::PackedWriter& w) {
+        const auto ud = static_cast<std::size_t>(dst);
+        w.write<double>(my_chunks.subspan(
+            send_offsets_[ud], send_offsets_[ud + 1] - send_offsets_[ud]));
+      },
+      [&](int src, comm::PackedReader& r) {
+        const auto us = static_cast<std::size_t>(src);
+        const auto n = recv_offsets_[us + 1] - recv_offsets_[us];
+        r.read<double>(held.subspan(recv_offsets_[us], n));
+      });
+}
+
+void BalancedFilterPlan::restore_into(const comm::Mesh2D& mesh,
+                                      std::span<const double> held_chunks,
+                                      std::span<double> mine) const {
+  const auto& col = mesh.col_comm();
+  AGCM_ASSERT(held_chunks.size() == held_chunk_elems());
+  AGCM_ASSERT(mine.size() == my_chunk_elems());
+  const auto nrows = send_lines_.size();
+  static thread_local std::vector<std::size_t> send_tl, recv_tl;
+  send_tl.resize(nrows);
+  recv_tl.resize(nrows);
+  for (std::size_t r = 0; r < nrows; ++r) {
+    send_tl[r] = (recv_offsets_[r + 1] - recv_offsets_[r]) * sizeof(double);
+    recv_tl[r] = (send_offsets_[r + 1] - send_offsets_[r]) * sizeof(double);
+  }
+  col.alltoallv_packed(
+      send_tl, recv_tl,
+      [&](int dst, comm::PackedWriter& w) {
+        const auto ud = static_cast<std::size_t>(dst);
+        w.write<double>(held_chunks.subspan(
+            recv_offsets_[ud], recv_offsets_[ud + 1] - recv_offsets_[ud]));
+      },
+      [&](int src, comm::PackedReader& r) {
+        const auto us = static_cast<std::size_t>(src);
+        const auto n = send_offsets_[us + 1] - send_offsets_[us];
+        r.read<double>(mine.subspan(send_offsets_[us], n));
+      });
 }
 
 std::vector<double> BalancedFilterPlan::redistribute(
     const comm::Mesh2D& mesh, std::span<const double> my_chunks) const {
-  const auto& col = mesh.col_comm();
-  AGCM_ASSERT(my_chunks.size() ==
-              my_lines_.size() * static_cast<std::size_t>(ni_));
-  // my_lines_ is ordered by global q, and dest rows are monotone in q, so
-  // the chunk buffer is already grouped by destination: no permutation.
-  std::vector<int> send_counts, recv_counts;
-  send_counts.reserve(send_lines_.size());
-  recv_counts.reserve(recv_lines_.size());
-  for (int n : send_lines_) send_counts.push_back(n * ni_);
-  for (int n : recv_lines_) recv_counts.push_back(n * ni_);
-  return col.alltoallv<double>(my_chunks, send_counts, recv_counts);
+  std::vector<double> held(held_chunk_elems());
+  redistribute_into(mesh, my_chunks, held);
+  return held;
 }
 
 std::vector<double> BalancedFilterPlan::restore(
     const comm::Mesh2D& mesh, std::span<const double> held_chunks) const {
-  const auto& col = mesh.col_comm();
-  AGCM_ASSERT(held_chunks.size() ==
-              held_lines_.size() * static_cast<std::size_t>(ni_));
-  std::vector<int> send_counts, recv_counts;
-  for (int n : recv_lines_) send_counts.push_back(n * ni_);
-  for (int n : send_lines_) recv_counts.push_back(n * ni_);
-  return col.alltoallv<double>(held_chunks, send_counts, recv_counts);
+  std::vector<double> mine(my_chunk_elems());
+  restore_into(mesh, held_chunks, mine);
+  return mine;
 }
 
 }  // namespace agcm::filter

@@ -38,20 +38,51 @@ class RowTransposePlan {
   /// they appear in the buffer returned by to_lines().
   const std::vector<LineKey>& owned_lines() const { return owned_keys_; }
 
+  /// Size of the chunk buffer (my ni-wide chunk of every line in lines()).
+  std::size_t chunk_elems() const {
+    return lines_.size() *
+           static_cast<std::size_t>(col_width_[static_cast<std::size_t>(mycol_)]);
+  }
+  /// Size of the whole-line buffer (nlon doubles per owned line).
+  std::size_t line_elems() const {
+    return owned_.size() * static_cast<std::size_t>(nlon_);
+  }
+
   /// Forward transpose: `my_chunks` holds my ni-wide chunk of every line in
-  /// lines() order; returns whole lines (nlon doubles each) for the lines
-  /// this node owns. Collective over the row.
-  std::vector<double> to_lines(const comm::Mesh2D& mesh,
-                               std::span<const double> my_chunks) const;
+  /// lines() order; fills `full` (size line_elems()) with whole lines for
+  /// the lines this node owns. Allocation-free in steady state: every
+  /// outgoing chunk is packed straight into its pooled wire buffer and
+  /// every incoming slice is scattered straight from the payload into
+  /// `full`. Collective over the row.
+  void to_lines_into(const comm::Mesh2D& mesh,
+                     std::span<const double> my_chunks,
+                     std::span<double> full) const;
 
   /// Inverse transpose: takes the filtered whole lines (owned_lines()
-  /// order) and returns my chunks of every line in lines() order.
+  /// order) and fills `chunks` (size chunk_elems()) with my chunks of every
+  /// line in lines() order. Allocation-free like to_lines_into.
+  void to_chunks_into(const comm::Mesh2D& mesh,
+                      std::span<const double> full_lines,
+                      std::span<double> chunks) const;
+
+  /// Vector-returning convenience wrappers over the _into forms.
+  std::vector<double> to_lines(const comm::Mesh2D& mesh,
+                               std::span<const double> my_chunks) const;
   std::vector<double> to_chunks(const comm::Mesh2D& mesh,
                                 std::span<const double> full_lines) const;
 
  private:
   int owner_col(std::size_t q) const {
     return static_cast<int>(q % static_cast<std::size_t>(ncols_));
+  }
+  /// Lines destined for column c: q = c, c+ncols, c+2*ncols, ... — the
+  /// round-robin ownership makes per-destination line lists pure
+  /// arithmetic, so the pack loops need no permutation tables.
+  std::size_t lines_to_col(int c) const {
+    if (lines_.empty()) return 0;
+    const auto n = lines_.size();
+    const auto uc = static_cast<std::size_t>(c);
+    return uc < n ? (n - uc - 1) / static_cast<std::size_t>(ncols_) + 1 : 0;
   }
 
   std::vector<LineKey> lines_;
@@ -81,13 +112,30 @@ class BalancedFilterPlan {
   /// Stage-B transpose over held_lines().
   const RowTransposePlan& row_plan() const { return row_plan_; }
 
+  /// Chunk-buffer sizes for the two layouts.
+  std::size_t my_chunk_elems() const {
+    return my_lines_.size() * static_cast<std::size_t>(ni_);
+  }
+  std::size_t held_chunk_elems() const {
+    return held_lines_.size() * static_cast<std::size_t>(ni_);
+  }
+
   /// Stage A: redistribute chunks along the mesh column. Input in
-  /// my_lines() order, output in held_lines() order. Collective over the
-  /// mesh column.
+  /// my_lines() order, output (size held_chunk_elems()) in held_lines()
+  /// order. Allocation-free in steady state (pooled wire buffers, no
+  /// staging vectors). Collective over the mesh column.
+  void redistribute_into(const comm::Mesh2D& mesh,
+                         std::span<const double> my_chunks,
+                         std::span<double> held) const;
+
+  /// Inverse of redistribute_into(); output size my_chunk_elems().
+  void restore_into(const comm::Mesh2D& mesh,
+                    std::span<const double> held_chunks,
+                    std::span<double> mine) const;
+
+  /// Vector-returning convenience wrappers over the _into forms.
   std::vector<double> redistribute(const comm::Mesh2D& mesh,
                                    std::span<const double> my_chunks) const;
-
-  /// Inverse of redistribute().
   std::vector<double> restore(const comm::Mesh2D& mesh,
                               std::span<const double> held_chunks) const;
 
@@ -99,6 +147,8 @@ class BalancedFilterPlan {
   std::vector<LineKey> held_lines_;
   std::vector<int> send_lines_;  ///< per dest row, lines I send
   std::vector<int> recv_lines_;  ///< per src row, lines I receive
+  std::vector<std::size_t> send_offsets_;  ///< prefix elems of send_lines_*ni
+  std::vector<std::size_t> recv_offsets_;  ///< prefix elems of recv_lines_*ni
   RowTransposePlan row_plan_;
   int ni_ = 0;  ///< my chunk width (identical within a mesh column)
   double post_balance_ratio_ = 1.0;

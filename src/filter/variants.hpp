@@ -62,6 +62,11 @@ class FftTransposeFilter final : public PolarFilter {
  private:
   const fft::FftPlan& fft_plan_;  // cached in the rank's FftWorkspace
   RowTransposePlan plan_;
+  // Growth-only scratch reused across apply() calls; together with the
+  // pooled transport this makes the steady-state filter path allocation-free
+  // (tests/test_comm_alloc.cpp).
+  std::vector<double> chunks_;
+  std::vector<double> full_;
 };
 
 /// The paper's contribution (Section 3.3): load-balanced FFT filtering.
@@ -84,6 +89,11 @@ class FftBalancedFilter final : public PolarFilter {
   const fft::FftPlan& fft_plan_;  // cached in the rank's FftWorkspace
   BalancedFilterPlan plan_;
   double setup_cost_sec_ = 0.0;
+  // Growth-only scratch reused across apply() calls (allocation-free
+  // steady state, as in FftTransposeFilter).
+  std::vector<double> my_chunks_;
+  std::vector<double> held_;
+  std::vector<double> full_;
 };
 
 }  // namespace agcm::filter

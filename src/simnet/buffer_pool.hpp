@@ -1,0 +1,199 @@
+// Recycling byte-buffer pool backing the zero-copy simnet transport.
+//
+// Every message payload that crosses the virtual interconnect lives in a
+// `Buffer`: a movable RAII handle over a `std::vector<std::byte>` borrowed
+// from a per-`Network` `BufferPool`. Senders pack directly into pool
+// storage, the buffer is *moved* (never copied) through the mailbox, and
+// when the receiver's handle dies the storage returns to the pool with its
+// capacity intact ("growth-only"): after a warm-up phase in which every
+// live buffer has grown to the largest payload it ever carried, the
+// steady-state communication hot path performs zero heap allocations
+// (tests/test_comm_alloc.cpp proves it with an operator-new hook).
+//
+// Lifetime rule: a pooled Buffer must not outlive the Network whose pool it
+// came from (in practice: don't let Buffers escape the SPMD program passed
+// to Machine::run). Unpooled Buffers (Buffer::unpooled) own their storage
+// outright and are used by tests and tooling that have no Network.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace agcm::simnet {
+
+class BufferPool;
+
+/// Movable RAII handle over pooled (or standalone) byte storage.
+class Buffer {
+ public:
+  Buffer() = default;
+
+  Buffer(Buffer&& other) noexcept
+      : pool_(std::exchange(other.pool_, nullptr)),
+        storage_(std::move(other.storage_)) {
+    other.storage_.clear();
+  }
+
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      pool_ = std::exchange(other.pool_, nullptr);
+      storage_ = std::move(other.storage_);
+      other.storage_.clear();
+    }
+    return *this;
+  }
+
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  ~Buffer() { release(); }
+
+  /// A self-owning buffer with no pool behind it (tests, tooling).
+  static Buffer unpooled(std::vector<std::byte> bytes) {
+    Buffer b;
+    b.storage_ = std::move(bytes);
+    return b;
+  }
+
+  std::byte* data() { return storage_.data(); }
+  const std::byte* data() const { return storage_.data(); }
+  std::size_t size() const { return storage_.size(); }
+  bool empty() const { return storage_.empty(); }
+  std::size_t capacity() const { return storage_.capacity(); }
+
+  std::byte& operator[](std::size_t i) { return storage_[i]; }
+  const std::byte& operator[](std::size_t i) const { return storage_[i]; }
+
+  std::span<std::byte> span() { return storage_; }
+  std::span<const std::byte> span() const { return storage_; }
+
+  /// Grows or shrinks the logical size (capacity never shrinks).
+  void resize(std::size_t bytes) { storage_.resize(bytes); }
+
+ private:
+  friend class BufferPool;
+  Buffer(BufferPool* pool, std::vector<std::byte> storage)
+      : pool_(pool), storage_(std::move(storage)) {}
+
+  void release();
+
+  BufferPool* pool_ = nullptr;
+  std::vector<std::byte> storage_;
+};
+
+/// Thread-safe LIFO freelist of byte vectors with growth-only capacity.
+/// Shared by every rank of a Network: a payload acquired by the sender is
+/// released back by whichever rank's handle dies last.
+class BufferPool {
+ public:
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Hands out a buffer of exactly `bytes` logical size. Best-fit reuse:
+  /// the smallest free storage whose capacity already covers the request,
+  /// so small messages never steal large buffers from large ones (a LIFO
+  /// pool would, and the large request would then have to grow a small
+  /// vector — a heap allocation in the steady state). When nothing fits,
+  /// the largest free storage is grown instead, which converges fastest:
+  /// capacities only ever ratchet upward.
+  Buffer acquire(std::size_t bytes) {
+    std::vector<std::byte> storage;
+    {
+      std::lock_guard lock(mutex_);
+      if (!free_.empty()) {
+        std::size_t best = free_.size();
+        for (std::size_t q = 0; q < free_.size(); ++q) {
+          const std::size_t cap = free_[q].capacity();
+          if (cap >= bytes &&
+              (best == free_.size() || cap < free_[best].capacity())) {
+            best = q;
+          }
+        }
+        if (best == free_.size()) {  // nothing fits: grow the largest
+          best = 0;
+          for (std::size_t q = 1; q < free_.size(); ++q)
+            if (free_[q].capacity() > free_[best].capacity()) best = q;
+        }
+        storage = std::move(free_[best]);
+        free_[best] = std::move(free_.back());  // swap-remove, no realloc
+        free_.pop_back();
+        ++reuses_;
+      } else {
+        ++misses_;
+      }
+      ++outstanding_;
+    }
+    storage.resize(bytes);  // grows capacity only beyond this storage's peak
+    return Buffer(this, std::move(storage));
+  }
+
+  /// Pre-populates the freelist with `count` storages of `bytes` capacity.
+  /// Optional: pools self-warm after a few sweeps anyway, but a prewarmed
+  /// pool covering the workload's peak concurrency is allocation-free from
+  /// the very first message (tests/test_comm_alloc.cpp uses this to make
+  /// the zero-allocation assertion deterministic under any thread
+  /// interleaving).
+  void prewarm(std::size_t count, std::size_t bytes) {
+    std::lock_guard lock(mutex_);
+    free_.reserve(free_.size() + count);
+    for (std::size_t q = 0; q < count; ++q) {
+      std::vector<std::byte> storage;
+      storage.reserve(bytes);
+      free_.push_back(std::move(storage));
+    }
+  }
+
+  // --- statistics (diagnostics / bench instrumentation) --------------------
+
+  /// Buffers currently held by live handles or in-flight packets.
+  std::size_t outstanding() const {
+    std::lock_guard lock(mutex_);
+    return outstanding_;
+  }
+  /// Buffers sitting in the freelist.
+  std::size_t free_count() const {
+    std::lock_guard lock(mutex_);
+    return free_.size();
+  }
+  /// acquire() calls served from the freelist.
+  std::size_t reuses() const {
+    std::lock_guard lock(mutex_);
+    return reuses_;
+  }
+  /// acquire() calls that had to start from empty storage.
+  std::size_t misses() const {
+    std::lock_guard lock(mutex_);
+    return misses_;
+  }
+
+ private:
+  friend class Buffer;
+
+  void release(std::vector<std::byte>&& storage) {
+    storage.clear();  // keeps capacity: the whole point of the pool
+    std::lock_guard lock(mutex_);
+    free_.push_back(std::move(storage));
+    --outstanding_;
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::vector<std::byte>> free_;
+  std::size_t outstanding_ = 0;
+  std::size_t reuses_ = 0;
+  std::size_t misses_ = 0;
+};
+
+inline void Buffer::release() {
+  if (pool_ != nullptr) {
+    pool_->release(std::move(storage_));
+    pool_ = nullptr;
+  }
+  storage_.clear();
+}
+
+}  // namespace agcm::simnet

@@ -1,6 +1,7 @@
 #include "simnet/machine.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -11,20 +12,28 @@ namespace agcm::simnet {
 
 void RankContext::send_bytes(int dst, std::int64_t tag,
                              std::span<const std::byte> bytes) {
+  Buffer payload = acquire_buffer(bytes.size());
+  if (!bytes.empty()) {
+    std::memcpy(payload.data(), bytes.data(), bytes.size());
+  }
+  send_bytes(dst, tag, std::move(payload));
+}
+
+void RankContext::send_bytes(int dst, std::int64_t tag, Buffer&& payload) {
   if (dst < 0 || dst >= nranks()) {
     throw CommError("send to invalid rank " + std::to_string(dst));
   }
   clock_.charge_send_overhead();
   Packet packet;
-  packet.payload.assign(bytes.begin(), bytes.end());
+  packet.payload = std::move(payload);
   packet.depart_time = clock_.now();
   packet.src = rank_;
   packet.tag = tag;
-  network_->count_message(bytes.size());
+  network_->count_message(packet.payload.size());
   network_->mailbox(dst).push(std::move(packet));
 }
 
-std::vector<std::byte> RankContext::recv_bytes(int src, std::int64_t tag) {
+Buffer RankContext::recv_bytes(int src, std::int64_t tag) {
   if (src < 0 || src >= nranks()) {
     throw CommError("recv from invalid rank " + std::to_string(src));
   }

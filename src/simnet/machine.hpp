@@ -29,13 +29,26 @@ class RankContext {
   const VirtualClock& clock() const { return clock_; }
   Network& network() { return *network_; }
 
+  /// Borrows a payload buffer of `bytes` logical size from the network's
+  /// recycling pool — the zero-copy send path packs directly into it.
+  Buffer acquire_buffer(std::size_t bytes) {
+    return network_->pool().acquire(bytes);
+  }
+
   /// Sends raw bytes to `dst` with `tag`; charges sender overhead and
-  /// stamps the packet with the virtual departure time.
+  /// stamps the packet with the virtual departure time. Copies once, into
+  /// pooled storage (allocation-free after pool warm-up).
   void send_bytes(int dst, std::int64_t tag, std::span<const std::byte> bytes);
 
+  /// Zero-copy overload: the pooled buffer is moved into the packet, so
+  /// callers that packed via acquire_buffer() inject without any copy.
+  void send_bytes(int dst, std::int64_t tag, Buffer&& payload);
+
   /// Blocking receive of the next packet on channel (src, tag). Advances the
-  /// virtual clock to the message arrival (wire latency + serialisation).
-  std::vector<std::byte> recv_bytes(int src, std::int64_t tag);
+  /// virtual clock to the message arrival (wire latency + serialisation)
+  /// and returns the pooled payload directly — no copy-out; the storage
+  /// recycles into the pool when the returned Buffer dies.
+  Buffer recv_bytes(int src, std::int64_t tag);
 
  private:
   int rank_;

@@ -1,5 +1,6 @@
 #include "simnet/network.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "util/error.hpp"
@@ -7,41 +8,84 @@
 
 namespace agcm::simnet {
 
-void Mailbox::push(Packet packet) {
-  {
-    std::lock_guard lock(mutex_);
-    channels_[{packet.src, packet.tag}].push_back(std::move(packet));
+Mailbox::Channel& Mailbox::channel(const Key& key) {
+  std::lock_guard lock(table_mutex_);
+  auto it = channels_.find(key);
+  if (it == channels_.end()) {
+    it = channels_.emplace(key, std::make_unique<Channel>()).first;
   }
-  cv_.notify_all();
+  return *it->second;
+}
+
+void Mailbox::push(Packet packet) {
+  Channel& ch = channel({packet.src, packet.tag});
+  {
+    std::lock_guard lock(ch.mutex);
+    ch.queue.push(std::move(packet));
+  }
+  // Targeted wakeup: at most one thread ever waits on a (src, tag) channel
+  // (the destination rank's receive), so notify_one is exact — no thundering
+  // herd across the rank's other outstanding receives.
+  ch.cv.notify_one();
 }
 
 Packet Mailbox::pop(int src, std::int64_t tag, int timeout_ms) {
-  std::unique_lock lock(mutex_);
-  const Key key{src, tag};
+  Channel& ch = channel({src, tag});
+  std::unique_lock lock(ch.mutex);
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
-  const bool ok = cv_.wait_until(lock, deadline, [&] {
-    auto it = channels_.find(key);
-    return it != channels_.end() && !it->second.empty();
-  });
+  const bool ok =
+      ch.cv.wait_until(lock, deadline, [&] { return !ch.queue.empty(); });
   if (!ok) {
+    lock.unlock();
+    // Enriched deadlock diagnostics: show what *is* queued so a tag or
+    // source mismatch is obvious from the error alone.
+    std::string pending_desc;
+    const auto infos = pending_channels();
+    if (infos.empty()) {
+      pending_desc = "mailbox empty";
+    } else {
+      pending_desc = "pending channels:";
+      for (const ChannelInfo& info : infos) {
+        pending_desc += strformat(" (src={} tag={} depth={})", info.src,
+                                  info.tag, info.depth);
+      }
+    }
     throw CommError(strformat(
         "recv timeout after {} ms waiting for message src={} tag={} "
-        "(likely deadlock or tag mismatch)",
-        timeout_ms, src, tag));
+        "(likely deadlock or tag mismatch); {}",
+        timeout_ms, src, tag, pending_desc));
   }
-  auto it = channels_.find(key);
-  Packet packet = std::move(it->second.front());
-  it->second.pop_front();
-  if (it->second.empty()) channels_.erase(it);
-  return packet;
+  return ch.queue.pop();
 }
 
 std::size_t Mailbox::pending() const {
-  std::lock_guard lock(mutex_);
   std::size_t n = 0;
-  for (const auto& [key, queue] : channels_) n += queue.size();
+  std::lock_guard table_lock(table_mutex_);
+  for (const auto& [key, ch] : channels_) {
+    std::lock_guard lock(ch->mutex);
+    n += ch->queue.size();
+  }
   return n;
+}
+
+std::vector<ChannelInfo> Mailbox::pending_channels() const {
+  std::vector<ChannelInfo> out;
+  {
+    std::lock_guard table_lock(table_mutex_);
+    out.reserve(channels_.size());
+    for (const auto& [key, ch] : channels_) {
+      std::lock_guard lock(ch->mutex);
+      if (!ch->queue.empty()) {
+        out.push_back({key.first, key.second, ch->queue.size()});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const ChannelInfo& a,
+                                       const ChannelInfo& b) {
+    return a.src != b.src ? a.src < b.src : a.tag < b.tag;
+  });
+  return out;
 }
 
 Network::Network(int nranks) : nranks_(nranks), mailboxes_(nranks) {

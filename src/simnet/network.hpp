@@ -1,57 +1,151 @@
 // In-memory message transport between virtual nodes.
 //
 // Every (src, dst, tag) channel preserves FIFO order, matching MPI point-to-
-// point semantics. Payloads are raw bytes; the typed layer lives in
-// comm/communicator.hpp. Each packet carries the sender's virtual departure
-// time so the receiver can compute its virtual arrival.
+// point semantics. Payloads are pooled byte buffers (see buffer_pool.hpp)
+// that move — never copy — from the sender's pack loop to the receiver's
+// unpack loop. The typed layer lives in comm/communicator.hpp. Each packet
+// carries the sender's virtual departure time so the receiver can compute
+// its virtual arrival.
+//
+// The mailbox is sharded: every channel owns its queue, mutex and condition
+// variable, so a push wakes exactly the receiver parked on that channel
+// (notify_one) instead of broadcasting to every blocked receiver of the
+// rank, and queue operations never scan or lock unrelated channels. The
+// channel table itself is an unordered_map guarded by a separate mutex that
+// is only held for the O(1) lookup/insert.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <map>
+#include <memory>
 #include <mutex>
 #include <span>
+#include <string>
+#include <unordered_map>
 #include <vector>
+
+#include "simnet/buffer_pool.hpp"
 
 namespace agcm::simnet {
 
 /// One in-flight message.
 struct Packet {
-  std::vector<std::byte> payload;
+  Buffer payload;
   double depart_time = 0.0;  ///< sender's virtual clock when injected
   int src = -1;
   std::int64_t tag = 0;  ///< wide: encodes (communicator context, user tag)
 };
 
-/// Per-destination mailbox; thread-safe.
+/// Queue depth of one (src, tag) channel — deadlock diagnostics.
+struct ChannelInfo {
+  int src = -1;
+  std::int64_t tag = 0;
+  std::size_t depth = 0;
+};
+
+/// Growth-only FIFO ring of packets. Unlike std::deque (whose forward-
+/// walking cursors allocate and free a block node every handful of
+/// operations even at constant depth), a ring at steady depth never touches
+/// the heap — a requirement of the allocation-free transport contract
+/// (tests/test_comm_alloc.cpp). Capacity is a power of two and only grows.
+class PacketRing {
+ public:
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  void push(Packet&& packet) {
+    if (count_ == slots_.size()) grow();
+    slots_[(head_ + count_) & (slots_.size() - 1)] = std::move(packet);
+    ++count_;
+  }
+
+  Packet pop() {
+    Packet packet = std::move(slots_[head_]);
+    head_ = (head_ + 1) & (slots_.size() - 1);
+    --count_;
+    return packet;
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = slots_.empty() ? 8 : slots_.size() * 2;
+    std::vector<Packet> next(cap);
+    for (std::size_t q = 0; q < count_; ++q)
+      next[q] = std::move(slots_[(head_ + q) & (slots_.size() - 1)]);
+    slots_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<Packet> slots_;  ///< power-of-two capacity
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// Per-destination mailbox; thread-safe, sharded per channel.
 class Mailbox {
  public:
   void push(Packet packet);
 
   /// Blocks until a packet from (src, tag) is available; FIFO per channel.
-  /// Throws CommError after `timeout_ms` of real time (deadlock detection).
+  /// Throws CommError after `timeout_ms` of real time (deadlock detection);
+  /// the error message lists every channel with queued packets so a tag
+  /// mismatch or ordering deadlock is visible at a glance.
   Packet pop(int src, std::int64_t tag, int timeout_ms);
 
   /// Number of queued packets across all channels (diagnostics).
   std::size_t pending() const;
 
+  /// Per-channel queue depths for every non-empty channel, sorted by
+  /// (src, tag) — the payload of the enriched timeout diagnostics.
+  std::vector<ChannelInfo> pending_channels() const;
+
  private:
   using Key = std::pair<int, std::int64_t>;  // (src, tag)
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::map<Key, std::deque<Packet>> channels_;
+
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      // splitmix64-style mix of the two halves; cheap and collision-free in
+      // practice for the small (src, tag) universes a rank sees.
+      std::uint64_t x = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.first)) << 48) ^
+                        static_cast<std::uint64_t>(k.second);
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      x *= 0x94d049bb133111ebULL;
+      x ^= x >> 31;
+      return static_cast<std::size_t>(x);
+    }
+  };
+
+  /// One FIFO channel shard: own lock, own queue, own wakeup.
+  struct Channel {
+    std::mutex mutex;
+    std::condition_variable cv;
+    PacketRing queue;
+  };
+
+  /// Finds or creates the channel shard for `key`. Channels are created on
+  /// first touch and live for the mailbox's lifetime (stable addresses, so
+  /// waiting threads never hold the table lock).
+  Channel& channel(const Key& key);
+
+  mutable std::mutex table_mutex_;
+  std::unordered_map<Key, std::unique_ptr<Channel>, KeyHash> channels_;
 };
 
-/// The whole interconnect: one mailbox per rank plus volume counters.
+/// The whole interconnect: one mailbox per rank, the shared payload buffer
+/// pool, and volume counters.
 class Network {
  public:
   explicit Network(int nranks);
 
   int nranks() const { return nranks_; }
   Mailbox& mailbox(int rank);
+
+  /// The recycling payload pool shared by every rank of this network.
+  BufferPool& pool() { return pool_; }
 
   /// Deadlock-detection timeout for blocking receives (real milliseconds).
   void set_recv_timeout_ms(int ms) { timeout_ms_ = ms; }
@@ -65,6 +159,8 @@ class Network {
 
  private:
   int nranks_;
+  BufferPool pool_;  ///< declared before mailboxes_: queued packets release
+                     ///< their buffers into the pool during destruction
   std::vector<Mailbox> mailboxes_;
   int timeout_ms_ = 60'000;
   std::atomic<std::uint64_t> messages_{0};

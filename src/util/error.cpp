@@ -24,4 +24,8 @@ void check_config(bool cond, const std::string& msg, std::source_location loc) {
   if (!cond) detail::check_fail(msg, loc);
 }
 
+void check_config(bool cond, const char* msg, std::source_location loc) {
+  if (!cond) detail::check_fail(std::string(msg), loc);
+}
+
 }  // namespace agcm

@@ -45,6 +45,12 @@ namespace detail {
 void check_config(bool cond, const std::string& msg,
                   std::source_location loc = std::source_location::current());
 
+/// Literal-message overload: defers all string construction to the failure
+/// path, so steady-state validations (halo exchange, filter apply) stay
+/// heap-allocation-free (tests/test_comm_alloc.cpp).
+void check_config(bool cond, const char* msg,
+                  std::source_location loc = std::source_location::current());
+
 }  // namespace agcm
 
 /// Hard internal invariant; aborts the process on violation.

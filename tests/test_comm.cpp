@@ -8,6 +8,7 @@
 
 #include "comm/communicator.hpp"
 #include "comm/mesh2d.hpp"
+#include "comm/packed.hpp"
 #include "simnet/machine.hpp"
 #include "util/error.hpp"
 
@@ -377,6 +378,194 @@ TEST(Mesh2D, SizeMismatchThrows) {
                              Mesh2D mesh(world, 2, 3);
                            }),
                ConfigError);
+}
+
+// --- zero-copy pooled transport APIs ----------------------------------------
+
+TEST(ZeroCopy, PackerSendRecvViewRoundTrip) {
+  auto machine = make_machine();
+  machine.run(2, [](RankContext& ctx) {
+    Communicator comm(ctx);
+    if (comm.rank() == 0) {
+      PackedWriter w = comm.packer(4 * sizeof(double));
+      auto slots = w.append<double>(2);
+      slots[0] = 1.5;
+      slots[1] = 2.5;
+      const std::vector<double> tail{3.5, 4.5};
+      w.write<double>(tail);
+      comm.send_packed(1, 9, std::move(w));
+    } else {
+      const TypedView<double> view = comm.recv_view<double>(0, 9);
+      ASSERT_EQ(view.size(), 4u);
+      EXPECT_DOUBLE_EQ(view[0], 1.5);
+      EXPECT_DOUBLE_EQ(view[3], 4.5);
+      // The span conversion stays valid while the view owns the payload.
+      std::span<const double> s = view;
+      EXPECT_DOUBLE_EQ(s[2], 3.5);
+    }
+  });
+}
+
+TEST(ZeroCopy, SendBufferRecvPackedSegments) {
+  auto machine = make_machine();
+  machine.run(2, [](RankContext& ctx) {
+    Communicator comm(ctx);
+    if (comm.rank() == 0) {
+      simnet::Buffer buf = comm.acquire(6 * sizeof(double));
+      auto* d = reinterpret_cast<double*>(buf.data());
+      for (int i = 0; i < 6; ++i) d[i] = 10.0 + i;
+      comm.send_buffer(1, 3, std::move(buf));
+    } else {
+      PackedReader r = comm.recv_packed(0, 3);
+      const auto head = r.view<double>(2);
+      EXPECT_DOUBLE_EQ(head[1], 11.0);
+      std::vector<double> tail(4);
+      r.read<double>(tail);
+      EXPECT_DOUBLE_EQ(tail[3], 15.0);
+      EXPECT_EQ(r.remaining_bytes(), 0u);
+    }
+  });
+}
+
+TEST(ZeroCopy, InteroperatesWithTypedRecv) {
+  // A buffer sent through the zero-copy path is a normal typed message on
+  // the wire: the receiver may use the classic recv<T>() and vice versa.
+  auto machine = make_machine();
+  machine.run(2, [](RankContext& ctx) {
+    Communicator comm(ctx);
+    if (comm.rank() == 0) {
+      PackedWriter w = comm.packer(3 * sizeof(int));
+      const std::vector<int> vals{7, 8, 9};
+      w.write<int>(vals);
+      comm.send_packed(1, 4, std::move(w));
+      comm.send<int>(1, 5, vals);
+    } else {
+      std::vector<int> a(3);
+      comm.recv<int>(0, 4, a);
+      EXPECT_EQ(a, (std::vector<int>{7, 8, 9}));
+      const auto b = comm.recv_view<int>(0, 5);
+      EXPECT_EQ(b[2], 9);
+    }
+  });
+}
+
+TEST(ZeroCopy, WriterOverflowThrows) {
+  PackedWriter w(simnet::Buffer::unpooled(std::vector<std::byte>(8)));
+  (void)w.append<double>(1);
+  EXPECT_THROW(w.append<double>(1), CommError);
+}
+
+TEST(ZeroCopy, WriterTakeBeforeFullThrows) {
+  PackedWriter w(simnet::Buffer::unpooled(std::vector<std::byte>(16)));
+  (void)w.append<double>(1);
+  EXPECT_THROW(w.take(), CommError);
+}
+
+TEST(ZeroCopy, ReaderUnderflowThrows) {
+  PackedReader r(simnet::Buffer::unpooled(std::vector<std::byte>(8)));
+  (void)r.view<double>(1);
+  EXPECT_THROW(r.view<double>(1), CommError);
+}
+
+TEST(ZeroCopy, RecvViewSizeMismatchThrows) {
+  auto machine = make_machine();
+  EXPECT_THROW(machine.run(2,
+                           [](RankContext& ctx) {
+                             Communicator comm(ctx);
+                             if (comm.rank() == 0) {
+                               const std::vector<std::int32_t> d{1, 2, 3};
+                               comm.send<std::int32_t>(1, 1, d);
+                             } else {
+                               // 12 bytes is not a whole number of doubles.
+                               comm.recv_view<double>(0, 1);
+                             }
+                           }),
+               CommError);
+}
+
+TEST_P(CollectiveSweep, AlltoallvPackedMatchesAlltoallv) {
+  const int p = GetParam();
+  auto machine = make_machine();
+  machine.run(p, [&](RankContext& ctx) {
+    Communicator comm(ctx);
+    // Rank r sends r+1 values to destination d (uneven block sizes with a
+    // non-empty self block).
+    const auto mine = static_cast<std::size_t>(comm.rank() + 1);
+    std::vector<int> send_counts(static_cast<std::size_t>(p),
+                                 static_cast<int>(mine));
+    std::vector<int> recv_counts(static_cast<std::size_t>(p));
+    for (int s = 0; s < p; ++s) recv_counts[static_cast<std::size_t>(s)] = s + 1;
+    std::vector<double> send(mine * static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d)
+      for (std::size_t x = 0; x < mine; ++x)
+        send[static_cast<std::size_t>(d) * mine + x] =
+            1000.0 * comm.rank() + 10.0 * d + static_cast<double>(x);
+    const auto reference = comm.alltoallv<double>(send, send_counts,
+                                                  recv_counts);
+
+    std::vector<std::size_t> send_bytes(static_cast<std::size_t>(p)),
+        recv_bytes(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      send_bytes[static_cast<std::size_t>(r)] = mine * sizeof(double);
+      recv_bytes[static_cast<std::size_t>(r)] =
+          static_cast<std::size_t>(r + 1) * sizeof(double);
+    }
+    std::vector<double> packed(reference.size());
+    std::vector<std::size_t> offsets(static_cast<std::size_t>(p) + 1, 0);
+    for (int r = 0; r < p; ++r)
+      offsets[static_cast<std::size_t>(r) + 1] =
+          offsets[static_cast<std::size_t>(r)] + static_cast<std::size_t>(r + 1);
+    comm.alltoallv_packed(
+        send_bytes, recv_bytes,
+        [&](int dst, PackedWriter& w) {
+          w.write<double>(std::span<const double>(send).subspan(
+              static_cast<std::size_t>(dst) * mine, mine));
+        },
+        [&](int src, PackedReader& r) {
+          r.read<double>(std::span<double>(packed).subspan(
+              offsets[static_cast<std::size_t>(src)],
+              static_cast<std::size_t>(src + 1)));
+        });
+    ASSERT_EQ(packed.size(), reference.size());
+    for (std::size_t x = 0; x < packed.size(); ++x)
+      EXPECT_DOUBLE_EQ(packed[x], reference[x]) << "at " << x;
+  });
+}
+
+TEST_P(CollectiveSweep, AlltoallvPackedSkipsZeroBlocks) {
+  const int p = GetParam();
+  auto machine = make_machine();
+  machine.run(p, [&](RankContext& ctx) {
+    Communicator comm(ctx);
+    // Only rank 0 receives, only from odd ranks (zero self block for all).
+    std::vector<std::size_t> send_bytes(static_cast<std::size_t>(p), 0),
+        recv_bytes(static_cast<std::size_t>(p), 0);
+    if (comm.rank() % 2 == 1) send_bytes[0] = sizeof(double);
+    if (comm.rank() == 0)
+      for (int r = 1; r < p; r += 2)
+        recv_bytes[static_cast<std::size_t>(r)] = sizeof(double);
+    double got_sum = 0.0;
+    int unpack_calls = 0;
+    comm.alltoallv_packed(
+        send_bytes, recv_bytes,
+        [&](int, PackedWriter& w) {
+          const double v = static_cast<double>(comm.rank());
+          w.write<double>(std::span<const double>(&v, 1));
+        },
+        [&](int src, PackedReader& r) {
+          ++unpack_calls;
+          got_sum += r.view<double>(1)[0];
+          EXPECT_EQ(src % 2, 1);
+        });
+    if (comm.rank() == 0) {
+      EXPECT_EQ(unpack_calls, (p - 1 + 1) / 2);
+      double expect_sum = 0.0;
+      for (int r = 1; r < p; r += 2) expect_sum += static_cast<double>(r);
+      EXPECT_DOUBLE_EQ(got_sum, expect_sum);
+    } else {
+      EXPECT_EQ(unpack_calls, 0);
+    }
+  });
 }
 
 TEST(Comm, MessageCostFlowsThroughCollectives) {

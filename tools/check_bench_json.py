@@ -20,6 +20,48 @@ def fail(path: str, msg: str) -> None:
     raise ValueError(f"{path}: {msg}")
 
 
+# Per-bench required top-level fields: name -> {field: required type}.
+# Benches that self-gate (nonzero exit on regression) must also publish the
+# gate inputs and verdict in their JSON so CI failures are diagnosable from
+# the artefact alone (docs/transport.md, "gating").
+REQUIRED_FIELDS = {
+    "comm_transport": {
+        "halo_mb_per_s_seed": float,
+        "halo_mb_per_s_pooled": float,
+        "halo_speedup": float,
+        "transpose_mb_per_s_seed": float,
+        "transpose_mb_per_s_pooled": float,
+        "transpose_speedup": float,
+        "gate_halo_speedup_min": float,
+        "gate_transpose_speedup_min": float,
+        "gates_passed": bool,
+    },
+}
+
+
+def check_required_fields(path: str, doc: dict) -> str:
+    required = REQUIRED_FIELDS.get(doc.get("bench", ""))
+    if required is None:
+        return ""
+    for name, kind in required.items():
+        if name not in doc:
+            fail(path, f"missing required field '{name}'")
+        value = doc[name]
+        if kind is float:
+            # bool is an int subclass; reject it explicitly.
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                fail(path, f"'{name}' must be a number")
+        elif not isinstance(value, kind):
+            fail(path, f"'{name}' must be {kind.__name__}")
+    if doc["bench"] == "comm_transport":
+        return (
+            f", halo {doc['halo_speedup']:.2f}x / transpose "
+            f"{doc['transpose_speedup']:.2f}x, gates_passed="
+            f"{doc['gates_passed']}"
+        )
+    return f", {len(required)} required fields present"
+
+
 def check_table(path: str, i: int, table: object) -> None:
     if not isinstance(table, dict):
         fail(path, f"tables[{i}] is not an object")
@@ -66,7 +108,8 @@ def check_bench(path: str, doc: dict) -> str:
                     fail(path, f"phases[{i}] missing '{key}'")
     if "metrics" in doc and not isinstance(doc["metrics"], dict):
         fail(path, "'metrics' must be an object")
-    return f"bench '{doc['bench']}', {len(tables)} table(s)"
+    extra = check_required_fields(path, doc)
+    return f"bench '{doc['bench']}', {len(tables)} table(s){extra}"
 
 
 def check_chrome_trace(path: str, doc: dict) -> str:
