@@ -343,10 +343,27 @@ void Communicator::reduce(int root, std::span<const T> in, std::span<T> out,
   AGCM_TRACE_SPAN("comm.reduce", *ctx_);
   AGCM_ASSERT(in.size() == out.size());
   const int p = size();
-  std::vector<T> acc(in.begin(), in.end());
   constexpr int kTag = kMaxUserTag - 2;
   const int rel = (rank_ - root + p) % p;
-  std::vector<T> incoming(in.size());
+  // Small payloads — the scalar allreduces and barriers every model step
+  // issues — accumulate in stack buffers so the collective is heap-free in
+  // steady state (tests/test_kernel_alloc.cpp); larger payloads fall back
+  // to heap scratch. The arithmetic and its order are unchanged.
+  constexpr std::size_t kInline = 8;
+  T acc_inline[kInline];
+  T inc_inline[kInline];
+  std::vector<T> acc_heap, inc_heap;
+  std::span<T> acc, incoming;
+  if (in.size() <= kInline) {
+    std::copy(in.begin(), in.end(), acc_inline);
+    acc = std::span<T>(acc_inline, in.size());
+    incoming = std::span<T>(inc_inline, in.size());
+  } else {
+    acc_heap.assign(in.begin(), in.end());
+    inc_heap.resize(in.size());
+    acc = acc_heap;
+    incoming = inc_heap;
+  }
   // Children send up the binomial tree, leaves first.
   for (int bit = 1; bit < p; bit <<= 1) {
     if (rel & bit) {

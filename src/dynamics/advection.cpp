@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "kernels/advection_kernels.hpp"
+#include "kernels/workspace.hpp"
 #include "util/error.hpp"
 
 namespace agcm::dynamics {
@@ -100,71 +102,20 @@ KernelCost advect_tracers_optimized(
     const grid::Array3D<double>& v,
     std::span<grid::Array3D<double>* const> tracers, double dt) {
   const int nk = grid.nlev();
-  // Mass fluxes computed once and reused by every tracer (the paper's
-  // "eliminating or minimizing redundant calculations in nested loops").
-  grid::Array3D<double> fx(box.ni, box.nj, nk, /*ghost=*/1);
-  grid::Array3D<double> fy(box.ni, box.nj, nk, /*ghost=*/1);
-  for (int k = 0; k < nk; ++k) {
-    for (int j = 0; j < box.nj; ++j) {
-      const double dy = metrics.dy_face[static_cast<std::size_t>(j)];
-      const double dxn = metrics.dx_vface[static_cast<std::size_t>(j) + 1];
-      for (int i = -1; i < box.ni; ++i) {
-        fx(i, j, k) =
-            u(i, j, k) * 0.5 * (h_old(i, j, k) + h_old(i + 1, j, k)) * dy;
-      }
-      for (int i = 0; i < box.ni; ++i) {
-        fy(i, j, k) =
-            v(i, j, k) * 0.5 * (h_old(i, j, k) + h_old(i, j + 1, k)) * dxn;
-      }
-    }
-    // The south-edge fluxes of row 0 (face j = -1/2).
-    {
-      const double dxs = metrics.dx_vface[0];
-      for (int i = 0; i < box.ni; ++i) {
-        fy(i, -1, k) =
-            v(i, -1, k) * 0.5 * (h_old(i, -1, k) + h_old(i, 0, k)) * dxs;
-      }
-    }
-  }
+  // Host execution is delegated to the tiled, unrolled kernel engine, which
+  // produces fields bitwise identical to the pre-engine implementation
+  // (preserved verbatim in advection_seed_ref.cpp and cross-checked by
+  // bench_kernel_engine and the dynamics tests). Scratch comes from the
+  // per-rank KernelWorkspace, so the steady state allocates nothing.
+  const kernels::AdvectionMetricsView mview{
+      metrics.inv_area.data(), metrics.dy_face.data(),
+      metrics.dx_vface.data()};
+  kernels::advect_tracers_engine(mview, h_old, h_new, u, v, tracers, box.ni,
+                                 box.nj, nk, dt,
+                                 kernels::KernelWorkspace::local());
 
-  std::vector<grid::Array3D<double>> updated;
-  updated.reserve(tracers.size());
-  for (std::size_t t = 0; t < tracers.size(); ++t)
-    updated.emplace_back(box.ni, box.nj, nk, 0);
-
-  for (int k = 0; k < nk; ++k) {
-    for (int j = 0; j < box.nj; ++j) {
-      const double inv_area = metrics.inv_area[static_cast<std::size_t>(j)];
-      const double dt_inv_area = dt * inv_area;  // hoisted invariant
-      for (int i = 0; i < box.ni; ++i) {
-        const double fe = fx(i, j, k);
-        const double fw = fx(i - 1, j, k);
-        const double fn = fy(i, j, k);
-        const double fs = fy(i, j - 1, k);
-        // Loops fused over tracers: one traversal of the flux arrays.
-        // (Division kept per tracer so results match the baseline bit for
-        // bit — the win here is flux reuse and fusion, not strength
-        // reduction.)
-        for (std::size_t t = 0; t < tracers.size(); ++t) {
-          const grid::Array3D<double>& c = *tracers[t];
-          const double flux_e = fe * upwind(fe, c(i, j, k), c(i + 1, j, k));
-          const double flux_w = fw * upwind(fw, c(i - 1, j, k), c(i, j, k));
-          const double flux_n = fn * upwind(fn, c(i, j, k), c(i, j + 1, k));
-          const double flux_s = fs * upwind(fs, c(i, j - 1, k), c(i, j, k));
-          const double ch = c(i, j, k) * h_old(i, j, k) -
-                            dt_inv_area * (flux_e - flux_w + flux_n - flux_s);
-          updated[t](i, j, k) = ch / h_new(i, j, k);
-        }
-      }
-    }
-  }
-  for (std::size_t t = 0; t < tracers.size(); ++t) {
-    grid::Array3D<double>& c = *tracers[t];
-    for (int k = 0; k < nk; ++k)
-      for (int j = 0; j < box.nj; ++j)
-        for (int i = 0; i < box.ni; ++i) c(i, j, k) = updated[t](i, j, k);
-  }
-
+  // The virtual-cost model is the SEED's, unchanged: the engine reorganizes
+  // host loops, not the modelled 1990s machine (docs/kernels.md).
   KernelCost cost;
   const double points = static_cast<double>(box.ni) * box.nj * nk;
   // Mass fluxes once (12 flops/point), then per tracer: 4 upwind fluxes (8)

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fft/workspace.hpp"
+#include "singlenode/miniblas.hpp"
 #include "util/error.hpp"
 
 namespace agcm::filter {
@@ -184,15 +185,22 @@ void filter_chunk_convolution(std::span<const double> line,
   AGCM_ASSERT(line.size() == kernel.size());
   AGCM_ASSERT(static_cast<int>(out.size()) == out_count);
   const auto n = static_cast<int>(line.size());
+  // Periodic convolution out[i] = sum_s kernel[s] * line[(i - s) mod n],
+  // split at the wrap point into two branch-free strided dot products:
+  //   s in [0, i]:       line index i - s     walks i .. 0      (stride -1)
+  //   s in [i+1, n-1]:   line index i - s + n walks n-1 .. i+1  (stride -1)
+  // ddot_strided keeps one sequential accumulator and accepts a carried-in
+  // partial sum, so chaining the two calls adds the very same products in
+  // the very same order as the historical branchy loop — bitwise identical
+  // (tests/test_filter.cpp).
+  const double* kern = kernel.data();
+  const double* ln = line.data();
   for (int c = 0; c < out_count; ++c) {
     const int i = out_begin + c;
-    double acc = 0.0;
-    for (int s = 0; s < n; ++s) {
-      int idx = i - s;
-      if (idx < 0) idx += n;
-      acc += kernel[static_cast<std::size_t>(s)] *
-             line[static_cast<std::size_t>(idx)];
-    }
+    double acc = singlenode::ddot_strided(static_cast<std::size_t>(i) + 1,
+                                          kern, 1, ln + i, -1, 0.0);
+    acc = singlenode::ddot_strided(static_cast<std::size_t>(n - 1 - i),
+                                   kern + i + 1, 1, ln + (n - 1), -1, acc);
     out[static_cast<std::size_t>(c)] = acc;
   }
 }

@@ -3,19 +3,62 @@
 // is fastest, then latitude j, then layer k — so one "data row" (a full
 // latitude circle at fixed j,k) is contiguous, which is what the spectral
 // filter wants.
+//
+// Storage is 64-byte aligned and, for ghosted arrays, row-padded so the
+// j-stride is a multiple of a cache line (docs/kernels.md): the kernel
+// engine walks rows through raw FieldView pointers and the aligned, padded
+// layout keeps every (j, k) row start on a cache-line boundary. Ghost-free
+// arrays are never padded, so their interior is one contiguous run (the
+// pack_interior/unpack_interior single-memcpy fast path relies on this).
 #pragma once
 
 #include <cstddef>
+#include <cstring>
+#include <new>
 #include <span>
 #include <vector>
 
+#include "grid/field_view.hpp"
 #include "util/error.hpp"
 
 namespace agcm::grid {
 
+/// Minimal std::allocator drop-in that over-aligns every block to `Align`
+/// bytes via the aligned operator new (so allocation-counting tests that
+/// hook the global operators still see these allocations).
+template <typename T, std::size_t Align>
+struct AlignedAllocator {
+  using value_type = T;
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Align});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+};
+
 template <typename T>
 class Array3D {
  public:
+  /// Alignment of the storage base (and, with row padding, of every row
+  /// start of a ghosted array's backing grid).
+  static constexpr std::size_t kAlignBytes = 64;
+
   Array3D() = default;
 
   /// `ni x nj x nk` interior cells with `ghost` extra cells on each side of
@@ -23,9 +66,8 @@ class Array3D {
   Array3D(int ni, int nj, int nk, int ghost = 0)
       : ni_(ni), nj_(nj), nk_(nk), ghost_(ghost),
         stride_i_(1),
-        stride_j_(static_cast<std::size_t>(ni + 2 * ghost)),
-        stride_k_(static_cast<std::size_t>(ni + 2 * ghost) *
-                  static_cast<std::size_t>(nj + 2 * ghost)),
+        stride_j_(padded_row(ni, ghost)),
+        stride_k_(stride_j_ * static_cast<std::size_t>(nj + 2 * ghost)),
         data_(stride_k_ * static_cast<std::size_t>(nk), T{}) {
     AGCM_ASSERT(ni > 0 && nj > 0 && nk > 0 && ghost >= 0);
   }
@@ -34,6 +76,11 @@ class Array3D {
   int nj() const { return nj_; }
   int nk() const { return nk_; }
   int ghost() const { return ghost_; }
+
+  /// Element strides of the backing storage. stride_j() can exceed
+  /// ni + 2*ghost (row padding); always use these, never recompute.
+  std::size_t stride_j() const { return stride_j_; }
+  std::size_t stride_k() const { return stride_k_; }
 
   /// Interior cell count.
   std::size_t interior_size() const {
@@ -48,7 +95,26 @@ class Array3D {
   T& operator()(int i, int j, int k) { return at(i, j, k); }
   const T& operator()(int i, int j, int k) const { return at(i, j, k); }
 
-  /// Raw storage including ghosts (for I/O and whole-array operations).
+  /// Strided raw-pointer view pre-offset to the interior origin (0, 0, 0);
+  /// the kernel engine's access path (see grid/field_view.hpp).
+  BasicFieldView<T> view() {
+    return {data_.data() + offset(0, 0, 0),
+            static_cast<std::ptrdiff_t>(stride_i_),
+            static_cast<std::ptrdiff_t>(stride_j_),
+            static_cast<std::ptrdiff_t>(stride_k_),
+            ni_, nj_, nk_, ghost_};
+  }
+  BasicFieldView<const T> view() const {
+    return {data_.data() + offset(0, 0, 0),
+            static_cast<std::ptrdiff_t>(stride_i_),
+            static_cast<std::ptrdiff_t>(stride_j_),
+            static_cast<std::ptrdiff_t>(stride_k_),
+            ni_, nj_, nk_, ghost_};
+  }
+  BasicFieldView<const T> cview() const { return view(); }
+
+  /// Raw storage including ghosts and any row padding (for I/O and
+  /// whole-array operations on same-shape arrays).
   std::span<T> raw() { return data_; }
   std::span<const T> raw() const { return data_; }
 
@@ -62,10 +128,21 @@ class Array3D {
 
   void fill(const T& value) { std::fill(data_.begin(), data_.end(), value); }
 
+  /// True when the interior is one contiguous run in storage (no ghosts, no
+  /// row padding) — the single-memcpy pack/unpack precondition.
+  bool contiguous_interior() const {
+    return ghost_ == 0 && stride_j_ == static_cast<std::size_t>(ni_);
+  }
+
   /// Copies interior cells (ghosts excluded) into a packed vector,
-  /// i-fastest order.
+  /// i-fastest order. Ghost-free arrays are never padded, so this is a
+  /// single memcpy for them; ghosted arrays copy row by row.
   std::vector<T> pack_interior() const {
     std::vector<T> out;
+    if (contiguous_interior()) {
+      out.assign(data_.begin(), data_.end());
+      return out;
+    }
     out.reserve(interior_size());
     for (int k = 0; k < nk_; ++k)
       for (int j = 0; j < nj_; ++j) {
@@ -75,9 +152,13 @@ class Array3D {
     return out;
   }
 
-  /// Inverse of pack_interior.
+  /// Inverse of pack_interior (same fast path).
   void unpack_interior(std::span<const T> packed) {
     AGCM_ASSERT(packed.size() == interior_size());
+    if (contiguous_interior()) {
+      std::memcpy(data_.data(), packed.data(), packed.size() * sizeof(T));
+      return;
+    }
     std::size_t pos = 0;
     for (int k = 0; k < nk_; ++k)
       for (int j = 0; j < nj_; ++j) {
@@ -95,6 +176,20 @@ class Array3D {
   }
 
  private:
+  /// Elements per cache line, when the line is an exact multiple of T.
+  static constexpr std::size_t kPadElems =
+      (kAlignBytes % sizeof(T) == 0) ? kAlignBytes / sizeof(T) : 1;
+
+  /// Row length in storage. Ghosted (hot, stencil-walked) arrays round the
+  /// row up to a whole number of cache lines; ghost-free arrays stay exact
+  /// so their interior remains a single contiguous run.
+  static std::size_t padded_row(int ni, int ghost) {
+    const auto logical =
+        static_cast<std::size_t>(ni) + 2 * static_cast<std::size_t>(ghost);
+    if (ghost == 0) return logical;
+    return (logical + kPadElems - 1) / kPadElems * kPadElems;
+  }
+
   std::size_t offset(int i, int j, int k) const {
     AGCM_DBG_ASSERT(i >= -ghost_ && i < ni_ + ghost_);
     AGCM_DBG_ASSERT(j >= -ghost_ && j < nj_ + ghost_);
@@ -106,7 +201,7 @@ class Array3D {
 
   int ni_ = 0, nj_ = 0, nk_ = 0, ghost_ = 0;
   std::size_t stride_i_ = 1, stride_j_ = 0, stride_k_ = 0;
-  std::vector<T> data_;
+  std::vector<T, AlignedAllocator<T, kAlignBytes>> data_;
 };
 
 }  // namespace agcm::grid

@@ -1,0 +1,48 @@
+// Strided raw-pointer views over Array3D storage for the kernel engine.
+//
+// A FieldView is the flat-pointer contract between the container layer and
+// the vectorized kernels in src/kernels/: a base pointer pre-offset to the
+// interior origin (0, 0, 0) plus the three element strides. Inner loops
+// hoist `view.row(j, k)` into `double* __restrict` locals and walk i with
+// unit stride — no per-element `Array3D::at()` call, no ghost-offset
+// arithmetic, nothing the compiler cannot vectorize (docs/kernels.md).
+//
+// Contract:
+//   * `base` points at element (0, 0, 0); ghosts live at negative i/j.
+//     Valid index ranges are i, j in [-ghost, n + ghost) and k in [0, nk).
+//   * `stride_i` is always 1 (longitude is the contiguous direction);
+//     `stride_j` may exceed ni + 2*ghost when the row is padded for
+//     alignment, so NEVER reconstruct it from the shape — use the view's.
+//   * A view borrows; it never owns. It is invalidated by anything that
+//     reallocates or reshapes the underlying Array3D.
+#pragma once
+
+#include <cstddef>
+
+namespace agcm::grid {
+
+template <typename T>
+struct BasicFieldView {
+  T* base = nullptr;               ///< &field(0, 0, 0) — ghost pre-offset
+  std::ptrdiff_t stride_i = 1;     ///< unit by construction
+  std::ptrdiff_t stride_j = 0;     ///< elements between (i,j,k), (i,j+1,k)
+  std::ptrdiff_t stride_k = 0;     ///< elements between (i,j,k), (i,j,k+1)
+  int ni = 0, nj = 0, nk = 0;      ///< interior extents
+  int ghost = 0;                   ///< ghost width in i and j
+
+  /// Pointer to the start of the interior run of row (j, k): element
+  /// (0, j, k). Index it with i in [-ghost, ni + ghost).
+  T* row(int j, int k) const {
+    return base + static_cast<std::ptrdiff_t>(j) * stride_j +
+           static_cast<std::ptrdiff_t>(k) * stride_k;
+  }
+
+  /// Element access, same index convention as Array3D::at (no bounds
+  /// checks: views exist so the hot loops can skip them).
+  T& at(int i, int j, int k) const { return row(j, k)[i]; }
+};
+
+using FieldView = BasicFieldView<double>;
+using ConstFieldView = BasicFieldView<const double>;
+
+}  // namespace agcm::grid

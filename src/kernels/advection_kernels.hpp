@@ -1,0 +1,52 @@
+// Tiled, unrolled tracer-advection engine — the industrialized form of the
+// paper's Section 3.4 single-node optimization of the advection routine.
+//
+// Produces fields BITWISE IDENTICAL to dynamics::advect_tracers_optimized's
+// seed implementation (preserved as advect_tracers_optimized_seed_ref):
+// the per-point operation order of every arithmetic statement is the
+// seed's; what changes is everything around it —
+//   * all field accesses go through grid::FieldView raw-pointer rows
+//     hoisted into `__restrict` locals (no Array3D::at ghost arithmetic),
+//   * the flux and update sweeps are fused into k-over-j tiles so a tile
+//     of flux rows is still cache-hot when every tracer consumes it,
+//   * inner i loops are 4-wide unrolled with scalar remainders (point
+//     updates are independent, so unrolling cannot change bits),
+//   * the tracer loop runs innermost per tile but with the i loop inside
+//     it, giving each tracer a flat vectorizable walk,
+//   * all scratch (flux arrays, per-tracer update fields) comes from the
+//     per-rank KernelWorkspace — zero heap allocation in steady state.
+//
+// The engine does NOT touch the virtual clock: callers charge the same
+// KernelCost as the seed path, keeping every frozen virtual-time artefact
+// byte-identical (docs/kernels.md).
+#pragma once
+
+#include <span>
+
+#include "grid/array3d.hpp"
+#include "kernels/workspace.hpp"
+
+namespace agcm::kernels {
+
+/// Per-row metric factors, viewed from dynamics::Metrics: `inv_area` and
+/// `dy_face` have one entry per local j row, `dx_vface` one per v-face
+/// (nj + 1 entries).
+struct AdvectionMetricsView {
+  const double* inv_area;
+  const double* dy_face;
+  const double* dx_vface;
+};
+
+/// Advances `tracers` in place (interior ni x nj x nk, ghost >= 1, halos
+/// current) by dt with upwind fluxes from (u, v, h_old); bitwise identical
+/// to the seed optimized path. Scratch lives in `ws`.
+void advect_tracers_engine(const AdvectionMetricsView& m,
+                           const grid::Array3D<double>& h_old,
+                           const grid::Array3D<double>& h_new,
+                           const grid::Array3D<double>& u,
+                           const grid::Array3D<double>& v,
+                           std::span<grid::Array3D<double>* const> tracers,
+                           int ni, int nj, int nk, double dt,
+                           KernelWorkspace& ws);
+
+}  // namespace agcm::kernels

@@ -1,0 +1,77 @@
+#include "kernels/column_kernels.hpp"
+
+namespace agcm::kernels {
+
+void fill_longwave_emissivity(double* emis, int nlev) {
+  for (int d = 0; d < nlev; ++d)
+    emis[d] = 0.015 / (1.0 + d);  // == 0.015 / (1.0 + |k1 - k2|) bit for bit
+}
+
+namespace {
+
+/// acc += emis[|k1 - k2|] * (theta[k2] - t1) over a run of k2 with the
+/// emissivity index moving by `step` (-1 below the diagonal, +1 above);
+/// 4-wide unrolled, single sequential accumulator (bit-frozen order).
+inline double exchange_run(double acc, const double* __restrict theta,
+                           int k2_begin, int count,
+                           const double* __restrict emis, int e_begin,
+                           int step, double t1) {
+#define AGCM_EXCH(p)                                                     \
+  acc += emis[e_begin + (p) * step] * (theta[k2_begin + (p)] - t1)
+  int p = 0;
+  for (; p + 4 <= count; p += 4) {
+    AGCM_EXCH(p);
+    AGCM_EXCH(p + 1);
+    AGCM_EXCH(p + 2);
+    AGCM_EXCH(p + 3);
+  }
+  for (; p < count; ++p) AGCM_EXCH(p);
+#undef AGCM_EXCH
+  return acc;
+}
+
+}  // namespace
+
+void longwave_sweep(double* theta, int nlev, const double* emis,
+                    double dt_sec) {
+  double* __restrict th = theta;
+  const double* __restrict em = emis;
+  for (int k1 = 0; k1 < nlev; ++k1) {
+    const double t1 = th[k1];
+    // Splitting the seed's k2 loop at the k1 == k2 skip keeps the k2
+    // ascending order exactly: [0, k1) then (k1, nlev).
+    double exchange = exchange_run(0.0, th, 0, k1, em, k1, -1, t1);
+    exchange =
+        exchange_run(exchange, th, k1 + 1, nlev - 1 - k1, em, 1, +1, t1);
+    th[k1] += dt_sec * (exchange - 0.8) / 86400.0;
+  }
+}
+
+int convection_sweep(double* theta, double* q, int nlev, double threshold,
+                     int max_iters, double& precipitation) {
+  double* __restrict th = theta;
+  double* __restrict qv = q;
+  int iters = 0;
+  while (iters < max_iters) {
+    bool unstable = false;
+    for (int k = 0; k + 1 < nlev; ++k) {
+      const double lower = th[k];
+      const double upper = th[k + 1];
+      if (upper - lower < -threshold) {
+        const double mixed = 0.5 * (lower + upper);
+        th[k] = mixed - 0.25 * threshold;
+        th[k + 1] = mixed + 0.25 * threshold;
+        const double condensed = 0.1 * qv[k];
+        qv[k] -= condensed;
+        precipitation += condensed;
+        th[k] += 120.0 * condensed;
+        unstable = true;
+      }
+    }
+    ++iters;
+    if (!unstable) break;
+  }
+  return iters;
+}
+
+}  // namespace agcm::kernels

@@ -1,0 +1,38 @@
+// Flat-pointer sweeps of the physics column emulator — the kernel-engine
+// versions of the longwave O(K^2) pair exchange and the cumulus-convection
+// adjustment loop in src/physics/column.cpp.
+//
+// Both are BITWISE IDENTICAL to the seed loops (preserved as
+// physics::step_column_seed_ref): per-point expression trees and the
+// sequential accumulation/update orders are the seed's. What changes:
+//   * the longwave emissivity 0.015 / (1 + |k1 - k2|) is precomputed once
+//     per call into a distance-indexed table (the identical expression, so
+//     identical bits) — the inner loop loses its division, abs() and the
+//     k1 == k2 branch by splitting at the diagonal,
+//   * the pair loop is 4-wide unrolled with ONE sequential accumulator
+//     (lane-splitting would reassociate the sum and change bits),
+//   * all pointers are `__restrict`-qualified walks (docs/kernels.md).
+#pragma once
+
+namespace agcm::kernels {
+
+/// Fills emis[d] = 0.015 / (1.0 + d) for d = 0..nlev-1 (d indexes the
+/// layer distance |k1 - k2|; entry 0 is never read). Each entry is the
+/// seed's per-pair expression evaluated once.
+void fill_longwave_emissivity(double* emis, int nlev);
+
+/// The longwave exchange sweep: for every layer k1 (in order), accumulate
+/// sum_{k2 != k1} emis[|k1-k2|] * (theta[k2] - theta[k1]) with k2
+/// ascending, then theta[k1] += dt_sec * (exchange - 0.8) / 86400.
+/// Sequential in k1 (later layers see earlier updates, as in the seed).
+void longwave_sweep(double* theta, int nlev, const double* emis,
+                    double dt_sec);
+
+/// The cumulus-convection adjustment: iteratively mixes unstable adjacent
+/// layers, condensing moisture into latent heat and precipitation.
+/// Returns the iteration count (>= 1); adds condensed moisture to
+/// `precipitation`. Identical update sequence to the seed loop.
+int convection_sweep(double* theta, double* q, int nlev, double threshold,
+                     int max_iters, double& precipitation);
+
+}  // namespace agcm::kernels

@@ -1,0 +1,33 @@
+// Tiled, unrolled engine variants of the Section 3.4 seven-point Laplace
+// layout experiment (src/singlenode/stencil.cpp).
+//
+// The singlenode originals stay untouched — they are the *seed* paths the
+// frozen virtual cache-efficiency model prices and the layout benchmark
+// measures. The engines here compute BITWISE IDENTICAL sums (same per-point
+// accumulation order) but restructure the host loops:
+//   * periodic index wrap (% n) is eliminated by peeling the i = 0 and
+//     i = n-1 boundary columns, so the interior walk is branch-free with
+//     unit-offset neighbours,
+//   * row pointers (centre, j/k neighbours) are hoisted into `__restrict`
+//     locals per (j, k) row — no idx3 re-derivation per point,
+//   * the interior i loop is 4-wide unrolled (independent points),
+//   * the block engine keeps its per-point field loop a single sequential
+//     accumulator chain, as reassociation would change bits.
+#pragma once
+
+#include <vector>
+
+#include "singlenode/stencil.hpp"
+
+namespace agcm::kernels {
+
+/// Engine for laplace_sum_separate: same out.assign + accumulate
+/// semantics, bitwise-identical result.
+void laplace_sum_separate_engine(const singlenode::SeparateFields& in,
+                                 std::vector<double>& out);
+
+/// Engine for laplace_sum_block, bitwise identical.
+void laplace_sum_block_engine(const singlenode::BlockFields& in,
+                              std::vector<double>& out);
+
+}  // namespace agcm::kernels

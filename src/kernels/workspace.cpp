@@ -1,0 +1,49 @@
+#include "kernels/workspace.hpp"
+
+namespace agcm::kernels {
+
+KernelWorkspace& KernelWorkspace::local() {
+  thread_local KernelWorkspace ws;
+  return ws;
+}
+
+void KernelWorkspace::reshape(grid::Array3D<double>& a, int ni, int nj,
+                              int nk, int ghost) {
+  if (a.ni() == ni && a.nj() == nj && a.nk() == nk && a.ghost() == ghost)
+    return;
+  a = grid::Array3D<double>(ni, nj, nk, ghost);
+}
+
+grid::Array3D<double>& KernelWorkspace::flux_x(int ni, int nj, int nk) {
+  reshape(flux_x_, ni, nj, nk, /*ghost=*/1);
+  return flux_x_;
+}
+
+grid::Array3D<double>& KernelWorkspace::flux_y(int ni, int nj, int nk) {
+  reshape(flux_y_, ni, nj, nk, /*ghost=*/1);
+  return flux_y_;
+}
+
+std::span<grid::Array3D<double>> KernelWorkspace::tracer_updates(
+    std::size_t count, int ni, int nj, int nk) {
+  if (updates_.size() < count) updates_.resize(count);
+  for (std::size_t t = 0; t < count; ++t)
+    reshape(updates_[t], ni, nj, nk, /*ghost=*/0);
+  return {updates_.data(), count};
+}
+
+std::span<double> KernelWorkspace::column_buffer(std::size_t count) {
+  if (column_.size() < count) column_.resize(count);
+  return {column_.data(), count};
+}
+
+void KernelWorkspace::reset() {
+  flux_x_ = grid::Array3D<double>();
+  flux_y_ = grid::Array3D<double>();
+  updates_.clear();
+  updates_.shrink_to_fit();
+  column_.clear();
+  column_.shrink_to_fit();
+}
+
+}  // namespace agcm::kernels

@@ -1,0 +1,74 @@
+// Per-rank kernel-engine workspace: growth-only scratch for the dynamics
+// and physics hot loops.
+//
+// Same lifetime pattern as fft::FftWorkspace (docs/fft.md): the virtual
+// multicomputer runs one host thread per virtual rank, so a thread_local
+// workspace is exactly a *per-rank* workspace — no locking, no false
+// sharing, and after the first step at a given local shape NO heap
+// allocation on the advection or column-physics path (the acceptance
+// criterion tests/test_kernel_alloc.cpp enforces, including under
+// ASan+UBSan in CI).
+//
+// Lifetime rules (docs/kernels.md):
+//   * `local()` lives as long as its thread. References and spans returned
+//     by the accessors stay valid until the next call to the SAME accessor
+//     with a different shape/size (growth or reshape reallocates) or to
+//     `reset()`.
+//   * The flux arrays and the tracer-update set are reshaped only when the
+//     requested shape differs from the cached one; with the steady
+//     per-rank shapes of a model run that means allocation happens on the
+//     first step only.
+//   * At most ONE `column_buffer()` borrow may be live at a time per
+//     thread (single-borrow rule, as FftWorkspace::complex_buffer). The
+//     column engine takes one borrow per column and carves its emissivity
+//     table and tridiagonal bands out of it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "grid/array3d.hpp"
+
+namespace agcm::kernels {
+
+class KernelWorkspace {
+ public:
+  /// The calling thread's (= the virtual rank's) workspace.
+  static KernelWorkspace& local();
+
+  KernelWorkspace(const KernelWorkspace&) = delete;
+  KernelWorkspace& operator=(const KernelWorkspace&) = delete;
+
+  /// Zonal / meridional mass-flux scratch for the advection engine
+  /// (interior ni x nj x nk, ghost 1). Contents are unspecified on entry.
+  grid::Array3D<double>& flux_x(int ni, int nj, int nk);
+  grid::Array3D<double>& flux_y(int ni, int nj, int nk);
+
+  /// `count` ghost-free update fields of the given interior shape (the
+  /// seed path's per-call `updated` vector). Contents unspecified.
+  std::span<grid::Array3D<double>> tracer_updates(std::size_t count, int ni,
+                                                  int nj, int nk);
+
+  /// Reusable double scratch of at least `count` elements (tridiagonal
+  /// bands, pivot scratch, emissivity tables). Grows — and allocates —
+  /// only when `count` exceeds the high-water mark; contents unspecified.
+  std::span<double> column_buffer(std::size_t count);
+
+  std::size_t column_capacity() const { return column_.size(); }
+
+  /// Drops all scratch (tests only — invalidates outstanding borrows).
+  void reset();
+
+ private:
+  KernelWorkspace() = default;
+
+  static void reshape(grid::Array3D<double>& a, int ni, int nj, int nk,
+                      int ghost);
+
+  grid::Array3D<double> flux_x_;
+  grid::Array3D<double> flux_y_;
+  std::vector<grid::Array3D<double>> updates_;
+  std::vector<double> column_;
+};
+
+}  // namespace agcm::kernels

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "singlenode/miniblas.hpp"
 #include "util/error.hpp"
 
 namespace agcm::linsolve {
@@ -12,22 +13,35 @@ std::vector<double> thomas_solve(std::span<const double> a,
                                  std::span<const double> c,
                                  std::span<const double> d) {
   const std::size_t n = b.size();
-  AGCM_ASSERT(a.size() == n && c.size() == n && d.size() == n);
   AGCM_ASSERT(n >= 1);
-  std::vector<double> cp(n), dp(n);
+  // dp is stored straight into x (thomas_solve_into merges the two), which
+  // performs the seed algorithm's operations in the seed order — results
+  // are bitwise identical to the historical two-scratch implementation.
+  std::vector<double> cp(n), x(n);
+  thomas_solve_into(a, b, c, d, x, cp);
+  return x;
+}
+
+void thomas_solve_into(std::span<const double> a, std::span<const double> b,
+                       std::span<const double> c, std::span<const double> d,
+                       std::span<double> x, std::span<double> cp) {
+  const std::size_t n = b.size();
+  AGCM_ASSERT(a.size() == n && c.size() == n && d.size() == n);
+  AGCM_ASSERT(x.size() == n && cp.size() == n);
+  AGCM_ASSERT(n >= 1);
   AGCM_DBG_ASSERT(b[0] != 0.0);
+  // Forward sweep; x holds dp. Reading d[i] strictly before writing x[i]
+  // makes d == x aliasing safe (the in-place profile solve).
   cp[0] = c[0] / b[0];
-  dp[0] = d[0] / b[0];
+  x[0] = d[0] / b[0];
   for (std::size_t i = 1; i < n; ++i) {
     const double denom = b[i] - a[i] * cp[i - 1];
     AGCM_DBG_ASSERT(denom != 0.0);
     cp[i] = c[i] / denom;
-    dp[i] = (d[i] - a[i] * dp[i - 1]) / denom;
+    x[i] = (d[i] - a[i] * x[i - 1]) / denom;
   }
-  std::vector<double> x(n);
-  x[n - 1] = dp[n - 1];
-  for (std::size_t i = n - 1; i-- > 0;) x[i] = dp[i] - cp[i] * x[i + 1];
-  return x;
+  // Back substitution in place: x[i] still holds dp[i] when read.
+  for (std::size_t i = n - 1; i-- > 0;) x[i] = x[i] - cp[i] * x[i + 1];
 }
 
 std::vector<double> periodic_thomas_solve(std::span<const double> a,
@@ -58,8 +72,12 @@ std::vector<double> periodic_thomas_solve(std::span<const double> a,
   AGCM_DBG_ASSERT(vz != 0.0);
   const double factor = vy / vz;
 
+  // x = y - factor * z via mini-BLAS. daxpy with alpha = -factor computes
+  // y[i] + (-factor) * z[i], which is bitwise y[i] - factor * z[i] (IEEE
+  // negation is exact), so the BLAS form changes no bits.
   std::vector<double> x(n);
-  for (std::size_t i = 0; i < n; ++i) x[i] = y[i] - factor * z[i];
+  singlenode::dcopy_strided(n, y.data(), 1, x.data(), 1);
+  singlenode::daxpy_strided(n, -factor, z.data(), 1, x.data(), 1);
   return x;
 }
 

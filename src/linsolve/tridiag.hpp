@@ -23,6 +23,17 @@ std::vector<double> thomas_solve(std::span<const double> a,
                                  std::span<const double> c,
                                  std::span<const double> d);
 
+/// Allocation-free Thomas solve into caller-provided storage: writes the
+/// solution to `x` using `cp` (length n) as scratch. `x` MAY alias `d` —
+/// the forward sweep reads d[i] before writing x[i], so solving a profile
+/// in place costs no copy. Bitwise identical to thomas_solve (same
+/// operation order; tested in tests/test_linsolve.cpp). The physics column
+/// engine routes its vertical-diffusion solves through this with
+/// KernelWorkspace scratch (docs/kernels.md).
+void thomas_solve_into(std::span<const double> a, std::span<const double> b,
+                       std::span<const double> c, std::span<const double> d,
+                       std::span<double> x, std::span<double> cp);
+
 /// Same system but periodic: a[0] couples x[0] to x[n-1] and c[n-1]
 /// couples x[n-1] to x[0] (a zonal circle). Sherman-Morrison reduction to
 /// two Thomas solves; n >= 3.

@@ -1,31 +1,22 @@
-#include "physics/column.hpp"
+// The pre-engine column physics, verbatim (see the header).
+// Do not "improve" this file: its whole value is that it is the seed.
+#include "physics/column_seed_ref.hpp"
 
 #include <algorithm>
 #include <cmath>
-#include <numbers>
+#include <vector>
 
-#include "kernels/column_kernels.hpp"
-#include "kernels/workspace.hpp"
 #include "linsolve/tridiag.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace agcm::physics {
 
-double cos_solar_zenith(double lat, double lon, double time_sec,
-                        double declination_rad) {
-  // Hour angle: the sun is overhead at lon = 0 at time 0 and sweeps
-  // westward with the 24-hour cycle.
-  const double hour_angle =
-      2.0 * std::numbers::pi * (time_sec / 86400.0) + lon;
-  return std::sin(lat) * std::sin(declination_rad) +
-         std::cos(lat) * std::cos(declination_rad) * std::cos(hour_angle);
-}
-
-ColumnResult step_column(const ColumnParams& params, std::uint64_t column_id,
-                         std::int64_t step, double lat, double lon,
-                         double time_sec, std::span<double> theta,
-                         std::span<double> q) {
+ColumnResult step_column_seed_ref(const ColumnParams& params,
+                                  std::uint64_t column_id, std::int64_t step,
+                                  double lat, double lon, double time_sec,
+                                  std::span<double> theta,
+                                  std::span<double> q) {
   const int nlev = params.nlev;
   AGCM_ASSERT(static_cast<int>(theta.size()) == nlev);
   AGCM_ASSERT(static_cast<int>(q.size()) == nlev);
@@ -60,21 +51,21 @@ ColumnResult step_column(const ColumnParams& params, std::uint64_t column_id,
                     (0.8 + 0.4 * result.cloud_fraction);
   }
 
-  // One KernelWorkspace borrow per column, carved into the longwave
-  // emissivity table and the four tridiagonal spans the implicit-diffusion
-  // solve needs: [emis | sub | diag | sup | cp]. Growth-only, so the warm
-  // path allocates nothing (tests/test_kernel_alloc.cpp).
-  const std::size_t n = static_cast<std::size_t>(nlev);
-  kernels::KernelWorkspace& ws = kernels::KernelWorkspace::local();
-  std::span<double> scratch = ws.column_buffer(5 * n);
-  double* const emis = scratch.data();
-
   // --- longwave: all layer pairs exchange (O(K^2)) -----------------------
-  // Hot sweep in the kernel engine: distance-indexed emissivity table
-  // (identical per-pair expression -> identical bits) and a branch-free,
-  // unrolled pair loop. Bitwise identical to step_column_seed_ref.
-  kernels::fill_longwave_emissivity(emis, nlev);
-  kernels::longwave_sweep(theta.data(), nlev, emis, params.dt_sec);
+  for (int k1 = 0; k1 < nlev; ++k1) {
+    double exchange = 0.0;
+    for (int k2 = 0; k2 < nlev; ++k2) {
+      if (k1 == k2) continue;
+      const double t1 = theta[static_cast<std::size_t>(k1)];
+      const double t2 = theta[static_cast<std::size_t>(k2)];
+      const double emissivity =
+          0.015 / (1.0 + std::abs(k1 - k2));  // nearer layers couple harder
+      exchange += emissivity * (t2 - t1);
+    }
+    // Net cooling to space from every layer.
+    theta[static_cast<std::size_t>(k1)] +=
+        params.dt_sec * (exchange - 0.8) / 86400.0;
+  }
   result.flops += params.flops_longwave_per_pair * nlev * nlev;
 
   // --- cumulus convection: adjust conditionally unstable profiles --------
@@ -84,31 +75,48 @@ ColumnResult step_column(const ColumnParams& params, std::uint64_t column_id,
   // state: "the unpredictability of ... the distribution of cumulus
   // convection implies an estimation of computation load ... is required".
   const double threshold = 0.15 * (1.0 - 0.5 * result.cloud_fraction);
-  const int iters = kernels::convection_sweep(
-      theta.data(), q.data(), nlev, threshold, params.max_convection_iters,
-      result.precipitation);
+  int iters = 0;
+  while (iters < params.max_convection_iters) {
+    bool unstable = false;
+    for (int k = 0; k + 1 < nlev; ++k) {
+      const double lower = theta[static_cast<std::size_t>(k)];
+      const double upper = theta[static_cast<std::size_t>(k + 1)];
+      if (upper - lower < -threshold) {
+        const double mixed = 0.5 * (lower + upper);
+        theta[static_cast<std::size_t>(k)] = mixed - 0.25 * threshold;
+        theta[static_cast<std::size_t>(k + 1)] = mixed + 0.25 * threshold;
+        // Condensation: moisture converts to latent heating + rain.
+        double& qk = q[static_cast<std::size_t>(k)];
+        const double condensed = 0.1 * qk;
+        qk -= condensed;
+        result.precipitation += condensed;
+        theta[static_cast<std::size_t>(k)] += 120.0 * condensed;
+        unstable = true;
+      }
+    }
+    ++iters;
+    if (!unstable) break;
+  }
   result.convection_iters = iters;
   result.flops +=
       params.flops_convection_per_layer_iter * nlev * std::max(1, iters);
 
   // --- implicit vertical diffusion (boundary-layer mixing) ---------------
   // (I - K d2/dz2) x_new = x with Neumann ends: unconditionally stable, so
-  // one Thomas solve per profile replaces many explicit sub-steps. Solved
-  // in place (thomas_solve_into allows x to alias d) with workspace bands —
-  // the seed path's per-call band vectors and profile copies are gone.
+  // one Thomas solve per profile replaces many explicit sub-steps.
   if (params.implicit_diffusion > 0.0 && nlev >= 2) {
     const double kdiff = params.implicit_diffusion;
-    const std::span<double> sub = scratch.subspan(n, n);
-    const std::span<double> diag = scratch.subspan(2 * n, n);
-    const std::span<double> sup = scratch.subspan(3 * n, n);
-    const std::span<double> cp = scratch.subspan(4 * n, n);
-    std::fill(sub.begin(), sub.end(), -kdiff);
-    std::fill(diag.begin(), diag.end(), 1.0 + 2.0 * kdiff);
-    std::fill(sup.begin(), sup.end(), -kdiff);
+    std::vector<double> sub(static_cast<std::size_t>(nlev), -kdiff);
+    std::vector<double> diag(static_cast<std::size_t>(nlev), 1.0 + 2.0 * kdiff);
+    std::vector<double> sup(static_cast<std::size_t>(nlev), -kdiff);
     diag.front() = 1.0 + kdiff;  // Neumann (no flux through the ends)
     diag.back() = 1.0 + kdiff;
-    linsolve::thomas_solve_into(sub, diag, sup, theta, theta, cp);
-    linsolve::thomas_solve_into(sub, diag, sup, q, q, cp);
+    const auto theta_new = linsolve::thomas_solve(
+        sub, diag, sup, std::vector<double>(theta.begin(), theta.end()));
+    const auto q_new = linsolve::thomas_solve(
+        sub, diag, sup, std::vector<double>(q.begin(), q.end()));
+    std::copy(theta_new.begin(), theta_new.end(), theta.begin());
+    std::copy(q_new.begin(), q_new.end(), q.begin());
     result.flops += 2.0 * linsolve::thomas_flops(nlev);
   }
 

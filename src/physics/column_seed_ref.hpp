@@ -1,0 +1,23 @@
+// Seed reference for the column physics: step_column exactly as it stood
+// before the kernel engine (PR "vectorized single-node kernel engine"),
+// preserved verbatim — per-pair emissivity recomputation, per-call band
+// vectors and thomas_solve copies included — so the engine bench and the
+// bit-exactness tests always compare against the true seed path (the same
+// pattern as dynamics/advection_seed_ref.hpp and fft/recursive_ref.hpp).
+//
+// Returns the same ColumnResult (flops, precipitation, iteration counts)
+// and produces bitwise-identical theta/q profiles to physics::step_column,
+// which now routes through the kernels:: column sweeps (docs/kernels.md).
+#pragma once
+
+#include "physics/column.hpp"
+
+namespace agcm::physics {
+
+ColumnResult step_column_seed_ref(const ColumnParams& params,
+                                  std::uint64_t column_id, std::int64_t step,
+                                  double lat, double lon, double time_sec,
+                                  std::span<double> theta,
+                                  std::span<double> q);
+
+}  // namespace agcm::physics

@@ -14,9 +14,12 @@ Physics::Physics(const comm::Mesh2D& mesh, const grid::Decomp2D& decomp,
   check_config(config.column.nlev == grid.nlev(),
                "physics nlev must match the grid");
   // First pass: no history yet; assume uniform cost.
-  prev_cost_.assign(
-      static_cast<std::size_t>(box_.ni) * static_cast<std::size_t>(box_.nj),
-      1.0);
+  const auto ncols =
+      static_cast<std::size_t>(box_.ni) * static_cast<std::size_t>(box_.nj);
+  prev_cost_.assign(ncols, 1.0);
+  // Gather scratch sized once here: the steady-state step reuses it.
+  items_.resize(ncols);
+  payloads_.resize(ncols * 2 * static_cast<std::size_t>(grid.nlev()));
 }
 
 double Physics::run_one_column(std::uint64_t column_id, std::int64_t step,
@@ -43,9 +46,12 @@ PhysicsStepStats Physics::step(dynamics::State& state) {
   const int per_item = 2 * nlev;  // theta + q profiles
   const auto nlon = static_cast<std::uint64_t>(grid_->nlon());
 
-  // Gather column payloads and load estimates (previous-pass costs).
-  std::vector<lb::Item> items(ncols);
-  std::vector<double> payloads(ncols * static_cast<std::size_t>(per_item));
+  // Gather column payloads and load estimates (previous-pass costs) into
+  // the member scratch (sized in the constructor — no per-step allocation).
+  std::vector<lb::Item>& items = items_;
+  std::vector<double>& payloads = payloads_;
+  AGCM_ASSERT(items.size() == ncols);
+  AGCM_ASSERT(payloads.size() == ncols * static_cast<std::size_t>(per_item));
   {
     std::size_t c = 0;
     for (int j = 0; j < box_.nj; ++j) {

@@ -65,6 +65,11 @@ class Physics {
   PhysicsConfig config_;
   grid::LocalBox box_;
   std::vector<double> prev_cost_;  ///< per local column, flops
+  /// Per-step gather scratch (items + packed theta/q payloads), sized once
+  /// in the constructor so the warm non-balanced step allocates nothing
+  /// (tests/test_kernel_alloc.cpp; docs/kernels.md).
+  std::vector<lb::Item> items_;
+  std::vector<double> payloads_;
   PhysicsTimings timings_;
 };
 

@@ -78,4 +78,56 @@ double ddot_unrolled(std::span<const double> x, std::span<const double> y) {
   return acc;
 }
 
+void dcopy_strided(std::size_t n, const double* x, std::ptrdiff_t incx,
+                   double* y, std::ptrdiff_t incy) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const auto di = static_cast<std::ptrdiff_t>(i);
+    y[di * incy] = x[di * incx];
+    y[(di + 1) * incy] = x[(di + 1) * incx];
+    y[(di + 2) * incy] = x[(di + 2) * incx];
+    y[(di + 3) * incy] = x[(di + 3) * incx];
+  }
+  for (; i < n; ++i) {
+    const auto di = static_cast<std::ptrdiff_t>(i);
+    y[di * incy] = x[di * incx];
+  }
+}
+
+void daxpy_strided(std::size_t n, double alpha, const double* x,
+                   std::ptrdiff_t incx, double* y, std::ptrdiff_t incy) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const auto di = static_cast<std::ptrdiff_t>(i);
+    y[di * incy] += alpha * x[di * incx];
+    y[(di + 1) * incy] += alpha * x[(di + 1) * incx];
+    y[(di + 2) * incy] += alpha * x[(di + 2) * incx];
+    y[(di + 3) * incy] += alpha * x[(di + 3) * incx];
+  }
+  for (; i < n; ++i) {
+    const auto di = static_cast<std::ptrdiff_t>(i);
+    y[di * incy] += alpha * x[di * incx];
+  }
+}
+
+double ddot_strided(std::size_t n, const double* x, std::ptrdiff_t incx,
+                    const double* y, std::ptrdiff_t incy, double acc) {
+  // Single sequential accumulator on purpose: splitting into lanes would
+  // reassociate the sum and break the bitwise-continuation contract.
+  // The 4-wide unroll only amortises loop overhead; the adds stay chained.
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const auto di = static_cast<std::ptrdiff_t>(i);
+    acc += x[di * incx] * y[di * incy];
+    acc += x[(di + 1) * incx] * y[(di + 1) * incy];
+    acc += x[(di + 2) * incx] * y[(di + 2) * incy];
+    acc += x[(di + 3) * incx] * y[(di + 3) * incy];
+  }
+  for (; i < n; ++i) {
+    const auto di = static_cast<std::ptrdiff_t>(i);
+    acc += x[di * incx] * y[di * incy];
+  }
+  return acc;
+}
+
 }  // namespace agcm::singlenode

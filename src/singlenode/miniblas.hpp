@@ -26,4 +26,31 @@ void daxpy_unrolled(double alpha, std::span<const double> x,
 double ddot(std::span<const double> x, std::span<const double> y);
 double ddot_unrolled(std::span<const double> x, std::span<const double> y);
 
+// --- strided (BLAS inc-style) variants ----------------------------------
+//
+// The kernel engine's contribution to this file (docs/kernels.md): the
+// same level-1 operations over strided element sequences, so the FilterBank
+// convolution kernels (which walk the periodic line backwards) and the
+// Thomas-solve recombination can be expressed as BLAS calls instead of
+// hand-rolled index loops. `x` and `y` address element 0 of each logical
+// vector; strides may be negative (BLAS convention, e.g. incy = -1 walks
+// y[0], y[-1], ...). n == 0 is a no-op.
+
+/// y[i*incy] = x[i*incx], i ascending; 4-way unrolled.
+void dcopy_strided(std::size_t n, const double* x, std::ptrdiff_t incx,
+                   double* y, std::ptrdiff_t incy);
+
+/// y[i*incy] += alpha * x[i*incx], i ascending; 4-way unrolled.
+void daxpy_strided(std::size_t n, double alpha, const double* x,
+                   std::ptrdiff_t incx, double* y, std::ptrdiff_t incy);
+
+/// Returns acc after acc += x[i*incx] * y[i*incy] for i = 0..n-1 in
+/// ascending order with ONE sequential accumulator (no 4-lane splitting):
+/// the products are added in exactly the order a scalar loop would, so a
+/// caller may split one logical dot product into several ddot_strided
+/// calls — threading `acc` through — and still get bitwise-identical sums
+/// (the convolution kernels depend on this; docs/kernels.md).
+double ddot_strided(std::size_t n, const double* x, std::ptrdiff_t incx,
+                    const double* y, std::ptrdiff_t incy, double acc = 0.0);
+
 }  // namespace agcm::singlenode

@@ -4,12 +4,16 @@
 // story the paper's filtering exists for.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numbers>
 #include <map>
+#include <vector>
 
 #include "comm/mesh2d.hpp"
 #include "grid/halo.hpp"
+#include "dynamics/advection_seed_ref.hpp"
 #include "dynamics/dynamics.hpp"
 #include "simnet/machine.hpp"
 #include "util/stats.hpp"
@@ -209,6 +213,85 @@ TEST(Advection, OptimizedIsCheaperInTheCostModel) {
   const double reduction = 1.0 - t_opt / t_base;
   EXPECT_GT(reduction, 0.25);
   EXPECT_LT(reduction, 0.55);
+}
+
+/// Deterministic fill that covers the ghost ring too: both advection paths
+/// read the same neighbour values, so any ghost content is fine as long as
+/// it is identical on both sides of the comparison.
+void fill_ghosted(grid::Array3D<double>& a, double base, int tag) {
+  const int g = a.ghost();
+  for (int k = 0; k < a.nk(); ++k)
+    for (int j = -g; j < a.nj() + g; ++j)
+      for (int i = -g; i < a.ni() + g; ++i)
+        a(i, j, k) =
+            base + std::sin(0.31 * i + 0.17 * j + 0.53 * k + 1.7 * tag);
+}
+
+TEST(Advection, EngineBitIdenticalToSeedReferenceOnAwkwardShapes) {
+  // The tiled kernel engine (kernels::advect_tracers_engine, reached via
+  // advect_tracers_optimized) must reproduce the preserved seed path bit
+  // for bit on shapes that stress the tile machinery: blocks narrower than
+  // the 4-wide unroll, partial j-tiles, wide (ghost-2) halos, zero and
+  // many tracers, and a single vertical level.
+  struct Shape {
+    int ni, nj, nk, ghost, ntracers;
+  };
+  constexpr Shape kShapes[] = {{1, 2, 2, 1, 1}, {3, 4, 2, 1, 0},
+                               {5, 9, 1, 1, 5}, {7, 2, 3, 2, 2},
+                               {1, 1, 1, 2, 1}, {4, 17, 2, 2, 5}};
+  for (const Shape& s : kShapes) {
+    SCOPED_TRACE(::testing::Message()
+                 << "ni=" << s.ni << " nj=" << s.nj << " nk=" << s.nk
+                 << " ghost=" << s.ghost << " tracers=" << s.ntracers);
+    // The local box is a sub-block of a (legal) global grid, exactly as a
+    // decomposed rank would see; j0 = 1 keeps dx_vface rows interesting.
+    const LatLonGrid grid(std::max(4, s.ni), s.nj + 2, s.nk);
+    const grid::LocalBox box{0, s.ni, 1, s.nj};
+    const Metrics metrics = Metrics::build(grid, box);
+
+    grid::Array3D<double> h_old(s.ni, s.nj, s.nk, s.ghost);
+    grid::Array3D<double> h_new(s.ni, s.nj, s.nk, s.ghost);
+    grid::Array3D<double> u(s.ni, s.nj, s.nk, s.ghost);
+    grid::Array3D<double> v(s.ni, s.nj, s.nk, s.ghost);
+    fill_ghosted(h_old, 1000.0, 1);
+    fill_ghosted(h_new, 1000.0, 2);
+    fill_ghosted(u, 0.0, 3);
+    fill_ghosted(v, 0.0, 4);
+
+    std::vector<grid::Array3D<double>> tr_seed, tr_eng;
+    std::vector<grid::Array3D<double>*> ptr_seed, ptr_eng;
+    tr_seed.reserve(static_cast<std::size_t>(s.ntracers));
+    tr_eng.reserve(static_cast<std::size_t>(s.ntracers));
+    for (int t = 0; t < s.ntracers; ++t) {
+      grid::Array3D<double> c(s.ni, s.nj, s.nk, s.ghost);
+      fill_ghosted(c, 280.0 + 3.0 * t, 10 + t);
+      tr_seed.push_back(c);
+      tr_eng.push_back(c);
+    }
+    for (int t = 0; t < s.ntracers; ++t) {
+      ptr_seed.push_back(&tr_seed[static_cast<std::size_t>(t)]);
+      ptr_eng.push_back(&tr_eng[static_cast<std::size_t>(t)]);
+    }
+
+    const KernelCost c_seed = advect_tracers_optimized_seed_ref(
+        grid, box, metrics, h_old, h_new, u, v,
+        std::span<grid::Array3D<double>* const>(ptr_seed), 240.0);
+    const KernelCost c_eng = advect_tracers_optimized(
+        grid, box, metrics, h_old, h_new, u, v,
+        std::span<grid::Array3D<double>* const>(ptr_eng), 240.0);
+
+    // Identical virtual-cost model (the engine must not perturb the frozen
+    // virtual-time artefacts) and bitwise-identical tracer fields.
+    EXPECT_EQ(c_seed.flops, c_eng.flops);
+    EXPECT_EQ(c_seed.cache_efficiency, c_eng.cache_efficiency);
+    for (int t = 0; t < s.ntracers; ++t) {
+      const auto a = tr_seed[static_cast<std::size_t>(t)].pack_interior();
+      const auto b = tr_eng[static_cast<std::size_t>(t)].pack_interior();
+      ASSERT_EQ(a.size(), b.size());
+      EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+          << "tracer " << t << " diverged bitwise";
+    }
+  }
 }
 
 TEST(Dynamics, PolarFilterKeepsPolarNoiseBounded) {

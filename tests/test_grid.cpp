@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <numbers>
 #include <tuple>
+#include <utility>
 
 #include "comm/mesh2d.hpp"
 #include "grid/array3d.hpp"
@@ -60,6 +62,85 @@ TEST(Array3D, PackUnpackRoundTripExcludesGhosts) {
       for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(b(i, j, k), a(i, j, k));
   EXPECT_DOUBLE_EQ(b(-1, 0, 0), 0.0);  // ghosts untouched
 }
+
+TEST(Array3D, StorageIsCacheLineAlignedAndGhostRowsPadded) {
+  // Base pointer 64-byte aligned for any shape.
+  for (int ni : {1, 3, 7, 144}) {
+    Array3D<double> a(ni, 2, 2, 1);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.raw().data()) %
+                  Array3D<double>::kAlignBytes,
+              0u)
+        << "ni=" << ni;
+    // Ghosted arrays: j-stride rounded up to a whole cache line and every
+    // backing row start stays aligned.
+    EXPECT_EQ(a.stride_j() % (Array3D<double>::kAlignBytes / sizeof(double)),
+              0u);
+    EXPECT_GE(a.stride_j(), static_cast<std::size_t>(ni) + 2);
+  }
+  // Ghost-free arrays are exact (contiguous interior, no padding).
+  Array3D<double> b(5, 3, 2, 0);
+  EXPECT_TRUE(b.contiguous_interior());
+  EXPECT_EQ(b.stride_j(), 5u);
+  EXPECT_EQ(b.raw().size(), b.interior_size());
+  Array3D<double> c(5, 3, 2, 1);
+  EXPECT_FALSE(c.contiguous_interior());
+}
+
+TEST(Array3D, FieldViewMatchesAtAccessor) {
+  Array3D<double> a(5, 4, 3, 2);
+  double v = 0.0;
+  for (int k = 0; k < 3; ++k)
+    for (int j = -2; j < 6; ++j)
+      for (int i = -2; i < 7; ++i) a(i, j, k) = v += 0.5;
+  const FieldView fv = a.view();
+  const ConstFieldView cv = std::as_const(a).view();
+  EXPECT_EQ(fv.ni, 5);
+  EXPECT_EQ(fv.nj, 4);
+  EXPECT_EQ(fv.nk, 3);
+  EXPECT_EQ(fv.ghost, 2);
+  for (int k = 0; k < 3; ++k)
+    for (int j = -2; j < 6; ++j) {
+      const double* row = fv.row(j, k);
+      EXPECT_EQ(row, cv.row(j, k));
+      for (int i = -2; i < 7; ++i) {
+        EXPECT_EQ(&row[i], &a.at(i, j, k)) << i << "," << j << "," << k;
+        EXPECT_EQ(fv.at(i, j, k), a.at(i, j, k));
+      }
+    }
+}
+
+class PackGhostSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackGhostSweep, PackUnpackRoundTripIsBitExactAllGhosts) {
+  const int g = GetParam();
+  Array3D<double> a(7, 5, 3, g);
+  // Distinct interior values plus ghost poison that must never leak.
+  double v = 0.25;
+  for (int k = 0; k < 3; ++k)
+    for (int j = -g; j < 5 + g; ++j)
+      for (int i = -g; i < 7 + g; ++i)
+        a(i, j, k) = (i >= 0 && i < 7 && j >= 0 && j < 5) ? (v += 1.0 / 3.0)
+                                                          : -777.0;
+  const auto packed = a.pack_interior();
+  ASSERT_EQ(packed.size(), a.interior_size());
+  // i-fastest order, bit exact.
+  std::size_t pos = 0;
+  for (int k = 0; k < 3; ++k)
+    for (int j = 0; j < 5; ++j)
+      for (int i = 0; i < 7; ++i, ++pos)
+        EXPECT_EQ(std::memcmp(&packed[pos], &a(i, j, k), sizeof(double)), 0);
+  Array3D<double> b(7, 5, 3, g);
+  b.fill(0.0);
+  b.unpack_interior(packed);
+  for (int k = 0; k < 3; ++k)
+    for (int j = 0; j < 5; ++j)
+      for (int i = 0; i < 7; ++i) EXPECT_EQ(b(i, j, k), a(i, j, k));
+  if (g > 0) {
+    EXPECT_EQ(b(-g, -g, 0), 0.0);  // ghosts untouched
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ghost, PackGhostSweep, ::testing::Values(0, 1, 2));
 
 TEST(LatLon, PaperGridDimensions) {
   const auto g = LatLonGrid::paper_9layer();
