@@ -96,18 +96,34 @@ FilterCosts measure_filter(filter::FilterAlgorithm algorithm,
   return costs;
 }
 
-void ring_vs_tree() {
+/// Ring-vs-tree message ratio at the 4x8 mesh (ring sends more messages,
+/// tree moves more bytes); recorded in the report summary.
+struct RingTreeSummary {
+  double msg_ratio = 0.0;    ///< ring messages / tree messages
+  bool tree_more_bytes = false;
+};
+
+RingTreeSummary ring_vs_tree() {
   Table table(
       "Ablation 1: convolution filtering, ring vs tree (Paragon, 144x90x9)",
       {"Mesh", "Variant", "virtual s/apply", "messages", "MB moved"});
+  RingTreeSummary summary;
   for (NodeMesh mesh : {NodeMesh{4, 8}, NodeMesh{4, 16}}) {
+    FilterCosts ring_costs, tree_costs;
     for (auto [alg, name] :
          {std::pair{filter::FilterAlgorithm::kConvolutionRing, "ring"},
           std::pair{filter::FilterAlgorithm::kConvolutionTree, "tree"}}) {
       const FilterCosts c = measure_filter(alg, mesh, 144, 90, 9);
+      if (alg == filter::FilterAlgorithm::kConvolutionRing) ring_costs = c;
+      else tree_costs = c;
       table.add_row({mesh.label(), name, Table::num(c.virtual_sec, 4),
                      std::to_string(c.messages),
                      Table::num(static_cast<double>(c.bytes) / 1.0e6, 2)});
+    }
+    if (mesh.rows == 4 && mesh.cols == 8) {
+      summary.msg_ratio = static_cast<double>(ring_costs.messages) /
+                          static_cast<double>(tree_costs.messages);
+      summary.tree_more_bytes = tree_costs.bytes > ring_costs.bytes;
     }
   }
   bench::emit_table(table);
@@ -115,26 +131,39 @@ void ring_vs_tree() {
       "Expected shape (Section 2): the ring needs ~(P-1) messages per node\n"
       "per variable but ships only chunk-sized payloads; the tree halves the\n"
       "message count but moves whole lines (larger volume).\n");
+  return summary;
 }
 
-void balanced_vs_plain() {
+/// Load-balance gain at the shortest and tallest mesh; recorded in the
+/// report summary (the gain must grow with the number of processor rows).
+struct LbGainSummary {
+  double gain_short = 0.0;  ///< 2x8 mesh
+  double gain_tall = 0.0;   ///< 12x8 mesh
+};
+
+LbGainSummary balanced_vs_plain() {
   Table table(
       "Ablation 2: FFT-transpose vs load-balanced FFT across mesh heights",
       {"Mesh", "FFT no LB s/apply", "FFT+LB s/apply", "gain"});
+  LbGainSummary summary;
   for (NodeMesh mesh :
        {NodeMesh{2, 8}, NodeMesh{4, 8}, NodeMesh{8, 8}, NodeMesh{12, 8}}) {
     const FilterCosts plain =
         measure_filter(filter::FilterAlgorithm::kFftTranspose, mesh, 144, 90, 9);
     const FilterCosts lb =
         measure_filter(filter::FilterAlgorithm::kFftBalanced, mesh, 144, 90, 9);
+    const double gain = plain.virtual_sec / lb.virtual_sec;
+    if (mesh.rows == 2) summary.gain_short = gain;
+    if (mesh.rows == 12) summary.gain_tall = gain;
     table.add_row({mesh.label(), Table::num(plain.virtual_sec, 4),
                    Table::num(lb.virtual_sec, 4),
-                   Table::num(plain.virtual_sec / lb.virtual_sec, 2) + "x"});
+                   Table::num(gain, 2) + "x"});
   }
   bench::emit_table(table);
   print_note(
       "Expected shape: the gain grows with the number of processor rows —\n"
       "more equatorial rows idle without the Figure-2 redistribution.\n");
+  return summary;
 }
 
 void setup_cost() {
@@ -247,11 +276,19 @@ int main(int argc, char** argv) {
   bench::JsonReport report(opts);
   bench::g_report = &report;
   print_header("Ablation benches: communication structure and setup costs");
-  ring_vs_tree();
-  balanced_vs_plain();
+  const RingTreeSummary rt = ring_vs_tree();
+  const LbGainSummary lb_gain = balanced_vs_plain();
   setup_cost();
   implicit_vs_spectral();
   scheme_comparison();
+  // Machine-readable summary of the two headline ablations (validated by
+  // tools/check_bench_json.py); everything is virtual-time deterministic.
+  report.set("ring_vs_tree_msg_ratio", rt.msg_ratio);
+  report.set("tree_more_bytes_than_ring", rt.tree_more_bytes);
+  report.set("lb_gain_short_mesh", lb_gain.gain_short);
+  report.set("lb_gain_tall_mesh", lb_gain.gain_tall);
+  report.set("lb_gain_grows_with_rows",
+             lb_gain.gain_tall > lb_gain.gain_short);
   report.finish();
   return 0;
 }

@@ -60,14 +60,23 @@ int main(int argc, char** argv) {
 
   Table table("Parallel efficiency of the whole AGCM by resolution",
               {"Resolution", "1-node s/day", "8x8 s/day", "8x8 efficiency"});
+  std::vector<double> efficiencies;
   for (const Resolution& res : resolutions) {
     const double serial = seconds_per_day(res, {1, 1});
     const double par = seconds_per_day(res, {8, 8});
     const double eff = serial / (64.0 * par);
+    efficiencies.push_back(eff);
     table.add_row({res.label, Table::num(serial, 0), Table::num(par, 1),
                    Table::pct(eff, 1)});
   }
   bench::emit_table(table);
+  // Machine-readable summary of the Section 4 prediction (validated by
+  // tools/check_bench_json.py): coarsest vs finest 9-layer efficiency and
+  // whether the predicted improvement actually holds in the model.
+  report.set("eff_coarsest", efficiencies.front());
+  report.set("eff_finest", efficiencies.back());
+  report.set("eff_improves_with_resolution",
+             efficiencies.back() > efficiencies.front());
   print_note(
       "Expected shape: efficiency rises down the table — more local work\n"
       "per ghost point and per filtered line as resolution grows, both\n"

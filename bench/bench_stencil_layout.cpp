@@ -25,7 +25,7 @@ using bench::print_note;
 using bench::Stopwatch;
 using namespace singlenode;
 
-void virtual_model_table() {
+void virtual_model_table(bench::JsonReport& report) {
   const auto paragon = simnet::MachineProfile::intel_paragon();
   const auto t3d = simnet::MachineProfile::cray_t3d();
   Table table(
@@ -52,6 +52,12 @@ void virtual_model_table() {
   std::printf("Paper anchor at m=12, 32^3: Paragon 5.0 / %.2f, "
               "T3D 2.6 / %.2f (paper/model)\n\n",
               anchor_p, anchor_t);
+  // Machine-readable anchors (validated by tools/check_bench_json.py):
+  // the virtual model is deterministic, so these are exact across runs.
+  report.set("paper_anchor_paragon", 5.0);
+  report.set("paper_anchor_t3d", 2.6);
+  report.set("anchor_speedup_paragon", anchor_p);
+  report.set("anchor_speedup_t3d", anchor_t);
 }
 
 void host_wallclock_table() {
@@ -90,7 +96,7 @@ int main(int argc, char** argv) {
   bench::g_report = &report;
   print_header(
       "Section 3.4: seven-point Laplace stencil, separate vs block arrays");
-  virtual_model_table();
+  virtual_model_table(report);
   host_wallclock_table();
   print_note(
       "Paper context: the block array won the isolated stencil test but\n"

@@ -3,6 +3,7 @@
 #include "fft/workspace.hpp"
 #include "filter/serial.hpp"
 #include "filter/variants.hpp"
+#include "trace/tracer.hpp"
 #include "util/error.hpp"
 
 namespace agcm::filter {
@@ -52,15 +53,28 @@ void FftTransposeFilter::apply_impl(
   // strongly filtered ones (Section 3.3): one transpose moves every line.
   // Scratch is growth-only member storage and the transposes run on the
   // pooled zero-copy transport, so repeat applications never allocate.
+  // Sub-spans split the already-traced "filter.fft-transpose" phase into
+  // its communication half ("filter.transpose": the forward and backward
+  // line transposes, each O(P) per rank) and its compute half
+  // ("filter.fft-lines": the batched spectral filtering, O(n log n) per
+  // line) — the two series the scaling-model sweep fits independently.
+  simnet::RankContext& tctx = mesh().world().context();
   chunks_.resize(plan_.chunk_elems());
   extract_chunks_into(fields, box(), lines, chunks_);
   full_.resize(plan_.line_elems());
-  plan_.to_lines_into(mesh(), chunks_, full_);
-
-  filter_owned_lines_fft(fft_plan_, bank(), plan_.owned_lines(), full_,
-                         clock);
-
-  plan_.to_chunks_into(mesh(), full_, chunks_);
+  {
+    AGCM_TRACE_SPAN("filter.transpose", tctx);
+    plan_.to_lines_into(mesh(), chunks_, full_);
+  }
+  {
+    AGCM_TRACE_SPAN("filter.fft-lines", tctx);
+    filter_owned_lines_fft(fft_plan_, bank(), plan_.owned_lines(), full_,
+                           clock);
+  }
+  {
+    AGCM_TRACE_SPAN("filter.transpose", tctx);
+    plan_.to_chunks_into(mesh(), full_, chunks_);
+  }
   write_chunks(fields, box(), lines, chunks_);
 }
 

@@ -1,0 +1,113 @@
+// Extra-P-style per-phase performance models.
+//
+// The paper's analysis is a set of scaling claims: the convolution polar
+// filter costs O(nlon^2) per latitude line, the distributed FFT filter
+// costs O(nlon log nlon), the filter transpose costs O(P) per rank, and
+// the load-balanced physics keeps imbalance under a few percent. The
+// virtual multicomputer can *measure* each phase at any point of the
+// (ranks, resolution) plane — this module turns a handful of such
+// measurements into an explicit, checkable model.
+//
+// Following the performance-model normal form used by Extra-P
+// (Calotoiu et al., "Using automated performance modeling to find
+// scalability bugs in complex codes", SC'13), each candidate model is
+//
+//     y(x) = c0 + c1 * x^a * log2(x)^b
+//
+// with the exponents (a, b) drawn from a small discrete hypothesis grid
+// (a in {0, 0.25, ..., 3}, b in {0, 1, 2}) rather than free-fitted: the
+// grid regularises the search the same way PMNF does, and makes the
+// selected exponents *discrete artefacts* that byte-compare across
+// machines even though the continuous coefficients carry rounding noise.
+// For each hypothesis the coefficients come from a 2-parameter linear
+// least-squares solve; model selection minimises leave-one-out
+// cross-validation RMSE (not in-sample R^2, which always prefers the
+// wiggliest hypothesis). Ties break toward the asymptotically *smaller*
+// hypothesis because the grid is scanned complexity-ascending with a
+// strict improvement test — so a constant series selects (0,0), not some
+// x^3 model that also threads the points.
+//
+// Everything here is pure arithmetic over the input points: no host
+// timing, no randomness, no global state. Determinism note: selected
+// exponents are grid-discrete and exactly reproducible; c0/c1/r2/cv_rmse
+// are doubles whose last bits may legitimately differ across compilers
+// (FMA contraction), which is why the regression sentinel
+// (tools/perf_diff.py) compares them with a 1e-9 relative band while
+// holding exponents and verdicts to byte identity.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/json.hpp"
+
+namespace agcm::perfmodel {
+
+/// One candidate complexity class: phi(x) = x^a * log2(x)^b.
+struct Hypothesis {
+  double a = 0.0;  ///< power exponent, grid multiple of 0.25
+  int b = 0;       ///< log2 power, 0..2
+
+  bool operator==(const Hypothesis& rhs) const {
+    return a == rhs.a && b == rhs.b;
+  }
+};
+
+/// phi(x) = x^a * log2(x)^b, defined for x >= 1 (log clamped at 0 so
+/// phi(1) = 0 for b > 0, matching the convention that log terms vanish
+/// at the smallest scale).
+double basis(const Hypothesis& hyp, double x);
+
+/// True when `lhs` grows asymptotically strictly faster than `rhs`
+/// (larger power exponent, or equal power and larger log power).
+bool dominates(const Hypothesis& lhs, const Hypothesis& rhs);
+
+/// Human-readable complexity label: "1" for (0,0), "x^2" for (2,0),
+/// "x * log2(x)" for (1,1), "x^1.5 * log2(x)^2" for (1.5,2), ...
+std::string complexity_label(const Hypothesis& hyp);
+
+/// The default PMNF hypothesis grid, complexity-ascending:
+/// a in {0, 0.25, ..., 3.0} (outer, ascending), b in {0, 1, 2} (inner).
+std::vector<Hypothesis> default_grid();
+
+/// One fitted model y(x) = c0 + c1 * phi_hyp(x).
+struct FitResult {
+  Hypothesis hyp;
+  double c0 = 0.0;
+  double c1 = 0.0;
+  double r2 = 0.0;       ///< in-sample coefficient of determination
+  double rmse = 0.0;     ///< in-sample root-mean-square residual
+  double cv_rmse = 0.0;  ///< leave-one-out cross-validation RMSE
+
+  std::string label() const { return complexity_label(hyp); }
+
+  /// Model prediction at `x`.
+  double evaluate(double x) const;
+};
+
+/// Least-squares fit of y = c0 + c1 * phi(x) for one fixed hypothesis.
+/// Returns nullopt when the hypothesis is unusable for the data: fewer
+/// than 2 points, a numerically singular normal matrix (phi collapses to
+/// a constant over the sample), or a negative c1 (costs are modelled as
+/// non-decreasing in scale; a hypothesis that only fits with negative
+/// weight is the wrong complexity class, not a model). The (0,0)
+/// hypothesis is fitted as the pure constant y = c0 = mean(y).
+std::optional<FitResult> fit_hypothesis(const std::vector<double>& x,
+                                        const std::vector<double>& y,
+                                        const Hypothesis& hyp);
+
+/// Fits every grid hypothesis and returns the one with the smallest
+/// leave-one-out CV RMSE; ties keep the asymptotically smaller hypothesis
+/// (strict `<` over a complexity-ascending scan). Requires >= 3 points
+/// and x strictly positive; throws std::invalid_argument otherwise.
+FitResult fit_model(const std::vector<double>& x,
+                    const std::vector<double>& y);
+FitResult fit_model(const std::vector<double>& x, const std::vector<double>& y,
+                    const std::vector<Hypothesis>& grid);
+
+/// Serialises a fit: {"complexity": "x^2", "exponent_a": 2, "log_power_b":
+/// 0, "c0": ..., "c1": ..., "r2": ..., "rmse": ..., "cv_rmse": ...}.
+trace::JsonValue fit_json(const FitResult& fit);
+
+}  // namespace agcm::perfmodel

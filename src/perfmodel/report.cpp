@@ -1,0 +1,145 @@
+#include "perfmodel/report.hpp"
+
+#include <utility>
+
+namespace agcm::perfmodel {
+
+namespace {
+
+std::string range_repr(double lo, double hi) {
+  std::string out = "[";
+  out += trace::JsonValue::number_repr(lo);
+  out += ", ";
+  out += trace::JsonValue::number_repr(hi);
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+Verdict check_fit(const FitResult& fit, const Expectation& expectation) {
+  Verdict verdict;
+  const Hypothesis& hyp = fit.hyp;
+  if (hyp.a < expectation.min_a || hyp.a > expectation.max_a) {
+    verdict.pass = false;
+    verdict.reason = "exponent_a=" + trace::JsonValue::number_repr(hyp.a) +
+                     " outside " +
+                     range_repr(expectation.min_a, expectation.max_a);
+    return verdict;
+  }
+  if (hyp.b < expectation.min_b || hyp.b > expectation.max_b) {
+    verdict.pass = false;
+    verdict.reason = "log_power_b=" + std::to_string(hyp.b) + " outside [" +
+                     std::to_string(expectation.min_b) + ", " +
+                     std::to_string(expectation.max_b) + "]";
+    return verdict;
+  }
+  if (fit.r2 < expectation.min_r2) {
+    verdict.pass = false;
+    verdict.reason = "r2 below " +
+                     trace::JsonValue::number_repr(expectation.min_r2) +
+                     " for selected class " + fit.label();
+    return verdict;
+  }
+  verdict.pass = true;
+  verdict.reason = "selected " + fit.label() + ", exponent in " +
+                   range_repr(expectation.min_a, expectation.max_a) +
+                   ", r2 above threshold";
+  return verdict;
+}
+
+PhaseModel analyze(Series series, Expectation expectation) {
+  PhaseModel model;
+  model.fit = fit_model(series.x, series.y);
+  model.series = std::move(series);
+  model.expectation = std::move(expectation);
+  model.verdict = check_fit(model.fit, model.expectation);
+  return model;
+}
+
+trace::JsonValue series_json(const Series& series) {
+  trace::JsonValue out = trace::JsonValue::object();
+  out.set("phase", series.phase);
+  out.set("parameter", series.parameter);
+  out.set("metric", series.metric);
+  trace::JsonValue xs = trace::JsonValue::array();
+  for (const double v : series.x) xs.push_back(v);
+  trace::JsonValue ys = trace::JsonValue::array();
+  for (const double v : series.y) ys.push_back(v);
+  out.set("x", std::move(xs));
+  out.set("y", std::move(ys));
+  return out;
+}
+
+trace::JsonValue phase_model_json(const PhaseModel& model) {
+  trace::JsonValue out = trace::JsonValue::object();
+  out.set("phase", model.series.phase);
+  out.set("series", series_json(model.series));
+  out.set("model", fit_json(model.fit));
+  trace::JsonValue expect = trace::JsonValue::object();
+  expect.set("expected", model.expectation.expected);
+  expect.set("min_a", model.expectation.min_a);
+  expect.set("max_a", model.expectation.max_a);
+  expect.set("min_b", model.expectation.min_b);
+  expect.set("max_b", model.expectation.max_b);
+  expect.set("min_r2", model.expectation.min_r2);
+  out.set("expectation", std::move(expect));
+  trace::JsonValue verdict = trace::JsonValue::object();
+  verdict.set("pass", model.verdict.pass);
+  verdict.set("reason", model.verdict.reason);
+  out.set("verdict", std::move(verdict));
+  return out;
+}
+
+ModelReport::ModelReport(std::string name) : name_(std::move(name)) {}
+
+void ModelReport::set_config(std::string_view key, trace::JsonValue value) {
+  config_.set(key, std::move(value));
+}
+
+void ModelReport::add_phase(PhaseModel model) {
+  phases_.push_back(std::move(model));
+}
+
+void ModelReport::add_gate(std::string_view name, bool pass,
+                           std::string_view detail) {
+  gates_.push_back(Gate{std::string(name), pass, std::string(detail)});
+}
+
+bool ModelReport::all_pass() const {
+  for (const PhaseModel& phase : phases_) {
+    if (!phase.verdict.pass) return false;
+  }
+  for (const Gate& gate : gates_) {
+    if (!gate.pass) return false;
+  }
+  return true;
+}
+
+trace::JsonValue ModelReport::to_json() const {
+  trace::JsonValue root = trace::JsonValue::object();
+  root.set("report", name_);
+  root.set("schema", "agcm-perfmodel-v1");
+  root.set("config", config_);
+  trace::JsonValue phases = trace::JsonValue::array();
+  for (const PhaseModel& phase : phases_)
+    phases.push_back(phase_model_json(phase));
+  root.set("phases", std::move(phases));
+  trace::JsonValue gates = trace::JsonValue::array();
+  for (const Gate& gate : gates_) {
+    trace::JsonValue entry = trace::JsonValue::object();
+    entry.set("name", gate.name);
+    entry.set("pass", gate.pass);
+    entry.set("detail", gate.detail);
+    gates.push_back(std::move(entry));
+  }
+  root.set("gates", std::move(gates));
+  root.set("all_pass", all_pass());
+  return root;
+}
+
+void ModelReport::write(const std::string& path) const {
+  trace::write_text_file(path, to_json().dump_pretty() + "\n");
+}
+
+}  // namespace agcm::perfmodel

@@ -1,0 +1,118 @@
+// Assembling fitted phase models into the PERF_MODEL.json artefact.
+//
+// model.hpp turns one (x, y) series into a fitted complexity class; this
+// layer carries the rest of the paper-checking pipeline: a Series names
+// which tracer phase was measured against which scale parameter, an
+// Expectation states the paper's claim as an acceptance window over the
+// fitted exponents, check_fit renders a deterministic verdict, and
+// ModelReport collects the lot — plus free-form scalar gates like the
+// physics imbalance bound — into one insertion-ordered JSON document that
+// the CI sentinel (tools/perf_diff.py) byte-compares against a committed
+// baseline.
+//
+// Verdict strings are fully deterministic (built from grid-discrete
+// exponents and pre-rounded thresholds only), so a verdict flips exactly
+// when the selected complexity class flips — never because a continuous
+// coefficient wiggled in its last bits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perfmodel/model.hpp"
+#include "trace/json.hpp"
+
+namespace agcm::perfmodel {
+
+/// A measured scaling series: phase cost y (virtual seconds) against one
+/// scale parameter x (e.g. "nlon" or "ranks").
+struct Series {
+  std::string phase;      ///< tracer phase name, e.g. "filter.fft-transpose"
+  std::string parameter;  ///< what x is, e.g. "nlon"
+  std::string metric;     ///< what y is, e.g. "max_rank_sec"
+  std::vector<double> x;
+  std::vector<double> y;
+
+  void add(double xi, double yi) {
+    x.push_back(xi);
+    y.push_back(yi);
+  }
+};
+
+/// The paper's claim about a phase, as an acceptance window over the
+/// fitted model: exponent a in [min_a, max_a], log power b in
+/// [min_b, max_b], in-sample R^2 >= min_r2.
+struct Expectation {
+  std::string expected;  ///< human-readable claim, e.g. "~ x^2 (conv filter)"
+  double min_a = 0.0;
+  double max_a = 3.0;
+  int min_b = 0;
+  int max_b = 2;
+  double min_r2 = 0.97;
+};
+
+struct Verdict {
+  bool pass = false;
+  std::string reason;  ///< deterministic explanation either way
+};
+
+/// Checks a fitted model against an expectation window.
+Verdict check_fit(const FitResult& fit, const Expectation& expectation);
+
+/// One fully analysed phase: the measured series, the selected model, the
+/// expectation it was held to and the verdict.
+struct PhaseModel {
+  Series series;
+  FitResult fit;
+  Expectation expectation;
+  Verdict verdict;
+};
+
+/// Fits the series (default grid) and checks it: the one-call pipeline.
+PhaseModel analyze(Series series, Expectation expectation);
+
+trace::JsonValue series_json(const Series& series);
+trace::JsonValue phase_model_json(const PhaseModel& model);
+
+/// The PERF_MODEL.json document builder. Key order is insertion order
+/// throughout, so the serialised artefact is byte-stable.
+class ModelReport {
+ public:
+  explicit ModelReport(std::string name);
+
+  /// Records a sweep-configuration fact (machine profile, mesh, ...).
+  void set_config(std::string_view key, trace::JsonValue value);
+
+  void add_phase(PhaseModel model);
+
+  /// Records a scalar pass/fail gate that is not a curve fit (e.g. the
+  /// post-LB imbalance bound, or conv-dominates-fft).
+  void add_gate(std::string_view name, bool pass, std::string_view detail);
+
+  /// True when every phase verdict and every gate passed.
+  bool all_pass() const;
+
+  const std::vector<PhaseModel>& phases() const { return phases_; }
+
+  /// {"report": name, "schema": "agcm-perfmodel-v1", "config": {...},
+  ///  "phases": [...], "gates": [...], "all_pass": bool}
+  trace::JsonValue to_json() const;
+
+  /// Pretty-printed to_json() + trailing newline, written atomically via
+  /// trace::write_text_file.
+  void write(const std::string& path) const;
+
+ private:
+  struct Gate {
+    std::string name;
+    bool pass = false;
+    std::string detail;
+  };
+
+  std::string name_;
+  trace::JsonValue config_ = trace::JsonValue::object();
+  std::vector<PhaseModel> phases_;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace agcm::perfmodel

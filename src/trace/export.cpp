@@ -200,9 +200,14 @@ std::string trace_csv(const Tracer& tracer) {
   for (const SpanRecord& span : tracer.spans()) {
     out += std::to_string(span.rank);
     out += ',';
-    // Names are dotted identifiers; quote defensively anyway.
+    // Names are dotted identifiers; quote defensively anyway. CSV escaping
+    // doubles embedded quotes (RFC 4180), so a name like say["x"] survives
+    // a round-trip through spreadsheet tooling.
     out += '"';
-    out += span.name;
+    for (const char c : span.name) {
+      if (c == '"') out += '"';
+      out += c;
+    }
     out += '"';
     out += ',';
     out += std::to_string(span.depth);

@@ -1,0 +1,98 @@
+#include "trace/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agcm::trace {
+
+int LogHistogram::bin_index(double positive_value) {
+  // floor(log2(v) * kSubBins); glibc's log2 is correctly rounded, so the
+  // mapping is bit-deterministic across compilers.
+  return static_cast<int>(
+      std::floor(std::log2(positive_value) * static_cast<double>(kSubBins)));
+}
+
+double LogHistogram::bin_representative(int index) {
+  // Geometric midpoint of [2^(i/k), 2^((i+1)/k)).
+  return std::exp2((static_cast<double>(index) + 0.5) /
+                   static_cast<double>(kSubBins));
+}
+
+void LogHistogram::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  if (value > 0.0 && std::isfinite(value)) {
+    ++bins_[bin_index(value)];
+  } else {
+    if (nonpos_count_ == 0) {
+      nonpos_min_ = nonpos_max_ = value;
+    } else {
+      nonpos_min_ = std::min(nonpos_min_, value);
+      nonpos_max_ = std::max(nonpos_max_, value);
+    }
+    ++nonpos_count_;
+  }
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  for (const auto& [index, n] : other.bins_) bins_[index] += n;
+  if (other.nonpos_count_ > 0) {
+    if (nonpos_count_ == 0) {
+      nonpos_min_ = other.nonpos_min_;
+      nonpos_max_ = other.nonpos_max_;
+    } else {
+      nonpos_min_ = std::min(nonpos_min_, other.nonpos_min_);
+      nonpos_max_ = std::max(nonpos_max_, other.nonpos_max_);
+    }
+    nonpos_count_ += other.nonpos_count_;
+  }
+}
+
+void LogHistogram::clear() { *this = LogHistogram{}; }
+
+std::uint64_t LogHistogram::target_rank(std::uint64_t count, double q) {
+  if (count == 0) return 0;
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  const double exact =
+      static_cast<double>(count - 1) * clamped / 100.0;
+  auto rank = static_cast<std::uint64_t>(std::floor(exact + 0.5));
+  return std::min<std::uint64_t>(rank, count - 1);
+}
+
+double LogHistogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  const std::uint64_t rank = target_rank(count_, q);
+
+  // Walk cumulative counts: the non-positive bucket sorts before every
+  // positive bin.
+  std::uint64_t seen = nonpos_count_;
+  if (rank < seen) {
+    // Midpoint of the bucket's observed range; exact when all non-positive
+    // samples share one value (the common all-zeros case).
+    return std::clamp(0.5 * (nonpos_min_ + nonpos_max_), nonpos_min_,
+                      nonpos_max_);
+  }
+  for (const auto& [index, n] : bins_) {
+    seen += n;
+    if (rank < seen) {
+      return std::clamp(bin_representative(index), min_, max_);
+    }
+  }
+  return max_;  // unreachable unless counts disagree; safe fallback
+}
+
+}  // namespace agcm::trace

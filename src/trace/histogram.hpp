@@ -1,0 +1,72 @@
+// Log-binned histogram for streaming percentile estimates.
+//
+// The MetricsRegistry's distributions used to carry Welford moments only
+// (count/mean/stddev/min/max) — enough for symmetric distributions, useless
+// for the tails the paper's analysis actually cares about (the slowest
+// ranks ARE the load imbalance). LogHistogram adds p50/p95/p99 at bounded
+// memory: samples land in geometric bins with kSubBins bins per octave
+// (power of two), so any positive value maps to bin
+//   floor(log2(v) * kSubBins)
+// and a quantile query walks the cumulative counts and returns the
+// geometric midpoint of the target bin, clamped to the observed [min, max].
+//
+// Properties the tests rely on:
+//  * Order independence — bins are pure counts, so concurrent observers
+//    produce bit-identical percentiles regardless of interleaving (unlike
+//    Welford's mean, whose low bits depend on insertion order).
+//  * Bounded relative error — the returned quantile is within a factor of
+//    2^(1/(2*kSubBins)) (~4.4% for kSubBins = 8) of the true nearest-rank
+//    order statistic, because both lie in the same bin whose bounds are a
+//    factor 2^(1/kSubBins) apart.
+//  * Bounded memory — the bin map can never exceed ~kSubBins bins per
+//    octave of observed dynamic range, independent of sample count.
+//
+// Non-positive samples (times and counts are non-negative; zeros happen)
+// are tracked in a dedicated bucket that sorts before every positive bin.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace agcm::trace {
+
+class LogHistogram {
+ public:
+  /// Bins per octave. 8 keeps worst-case quantile error under ~4.4%.
+  static constexpr int kSubBins = 8;
+
+  void add(double value);
+  void merge(const LogHistogram& other);
+  void clear();
+
+  std::uint64_t count() const { return count_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Number of distinct non-empty bins (bounded-memory witness).
+  std::size_t bin_count() const {
+    return bins_.size() + (nonpos_count_ > 0 ? 1u : 0u);
+  }
+
+  /// Nearest-rank quantile estimate, `q` in [0, 100]. The target rank is
+  ///   round((count - 1) * q / 100)
+  /// (0-based; ties round up) — the same rule the test oracle applies to a
+  /// sorted copy of the samples. Returns 0 when empty.
+  double percentile(double q) const;
+
+  /// The exact index rule percentile() targets, exposed so oracles can
+  /// match it: round((count - 1) * q / 100), clamped to [0, count-1].
+  static std::uint64_t target_rank(std::uint64_t count, double q);
+
+ private:
+  static int bin_index(double positive_value);
+  static double bin_representative(int index);
+
+  std::map<int, std::uint64_t> bins_;  ///< positive samples by log bin
+  std::uint64_t nonpos_count_ = 0;     ///< samples <= 0
+  double nonpos_min_ = 0.0, nonpos_max_ = 0.0;
+  std::uint64_t count_ = 0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+}  // namespace agcm::trace

@@ -34,7 +34,9 @@ void MetricsRegistry::set_gauge(std::string_view name, int rank,
 void MetricsRegistry::observe(std::string_view name, double value) {
   if (!enabled()) return;
   std::lock_guard lock(mutex_);
-  distributions_[std::string(name)].add(value);
+  Distribution& dist = distributions_[std::string(name)];
+  dist.stats.add(value);
+  dist.hist.add(value);
 }
 
 double MetricsRegistry::total(const std::string& name) const {
@@ -63,7 +65,19 @@ std::vector<std::pair<int, double>> MetricsRegistry::per_rank(
 RunningStats MetricsRegistry::distribution(const std::string& name) const {
   std::lock_guard lock(mutex_);
   const auto it = distributions_.find(name);
-  return it == distributions_.end() ? RunningStats{} : it->second;
+  return it == distributions_.end() ? RunningStats{} : it->second.stats;
+}
+
+LogHistogram MetricsRegistry::histogram(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = distributions_.find(name);
+  return it == distributions_.end() ? LogHistogram{} : it->second.hist;
+}
+
+double MetricsRegistry::percentile(const std::string& name, double q) const {
+  std::lock_guard lock(mutex_);
+  const auto it = distributions_.find(name);
+  return it == distributions_.end() ? 0.0 : it->second.hist.percentile(q);
 }
 
 std::vector<std::string> MetricsRegistry::names() const {
@@ -105,13 +119,17 @@ JsonValue MetricsRegistry::to_json() const {
   root.set("gauges", std::move(gauges));
 
   JsonValue distributions = JsonValue::object();
-  for (const auto& [name, stats] : distributions_) {
+  for (const auto& [name, dist] : distributions_) {
+    const RunningStats& stats = dist.stats;
     JsonValue entry = JsonValue::object();
     entry.set("count", static_cast<std::uint64_t>(stats.count()));
     entry.set("mean", stats.mean());
     entry.set("stddev", stats.stddev());
     entry.set("min", stats.min());
     entry.set("max", stats.max());
+    entry.set("p50", dist.hist.percentile(50.0));
+    entry.set("p95", dist.hist.percentile(95.0));
+    entry.set("p99", dist.hist.percentile(99.0));
     distributions.set(name, std::move(entry));
   }
   root.set("distributions", std::move(distributions));

@@ -21,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "trace/histogram.hpp"
 #include "trace/json.hpp"
 #include "util/stats.hpp"
 
@@ -41,8 +42,10 @@ class MetricsRegistry {
   /// Sets gauge `name` for `rank` (last value wins).
   void set_gauge(std::string_view name, int rank, double value);
 
-  /// Feeds one sample into the merged distribution `name` (Welford stats,
-  /// merged across all ranks).
+  /// Feeds one sample into the merged distribution `name`: Welford stats
+  /// for the moments plus a log-binned histogram for p50/p95/p99, merged
+  /// across all ranks. The histogram side is order-independent, so
+  /// percentiles are deterministic even under concurrent recording.
   void observe(std::string_view name, double value);
 
   // --- snapshot ------------------------------------------------------------
@@ -56,11 +59,19 @@ class MetricsRegistry {
   /// Merged distribution for `name` (empty stats when absent).
   RunningStats distribution(const std::string& name) const;
 
+  /// Log-binned histogram of the merged distribution (empty when absent).
+  LogHistogram histogram(const std::string& name) const;
+
+  /// Streaming percentile of distribution `name`; `q` in [0, 100]
+  /// (0 when absent). See LogHistogram for the accuracy contract.
+  double percentile(const std::string& name, double q) const;
+
   /// All known metric names (counters, gauges, distributions), sorted.
   std::vector<std::string> names() const;
 
   /// Full snapshot: {"counters": {name: {"total": x, "per_rank": {...}}},
-  /// "gauges": {...}, "distributions": {name: {count, mean, min, max, ...}}}.
+  /// "gauges": {...}, "distributions": {name: {count, mean, stddev, min,
+  /// max, p50, p95, p99}}}.
   JsonValue to_json() const;
 
  private:
@@ -68,10 +79,15 @@ class MetricsRegistry {
 
   using PerRank = std::map<int, double>;
 
+  struct Distribution {
+    RunningStats stats;
+    LogHistogram hist;
+  };
+
   mutable std::mutex mutex_;
   std::map<std::string, PerRank> counters_;
   std::map<std::string, PerRank> gauges_;
-  std::map<std::string, RunningStats> distributions_;
+  std::map<std::string, Distribution> distributions_;
 };
 
 }  // namespace agcm::trace

@@ -1,0 +1,88 @@
+// Bounded-memory streaming Chrome-trace writer.
+//
+// write_chrome_trace (export.hpp) builds the whole trace document in memory
+// before writing — fine for a single run, hopeless for a parameter sweep
+// that traces dozens of cells: the Tracer's per-rank buffers and the JSON
+// tree both grow without bound. StreamingTraceSink inverts the flow: the
+// launcher thread calls drain() between runs (or between sweep cells),
+// which MOVES each rank's events out of the Tracer via Tracer::take_events,
+// serialises the matched spans / instants / counters straight into a
+// chunk-buffered file append, and discards them. Steady-state memory is
+// one rank's events plus the chunk buffer, independent of sweep length.
+//
+// The emitted file is the same Chrome Trace Event Format document
+// export.cpp produces (header metadata, "X"/"i"/"C" events, footer with
+// displayTimeUnit + otherData), just written incrementally:
+//
+//   StreamingTraceSink sink("TRACE_sweep.json");
+//   sink.begin(nranks);            // header + process/thread metadata
+//   for (cell : sweep) {
+//     Tracer::instance().begin_run(nranks);
+//     machine.run(...);            // ranks record as usual
+//     sink.drain(Tracer::instance());  // move out + append + free
+//   }
+//   sink.close();                  // footer; file is valid JSON from here
+//
+// Threading contract mirrors the Tracer's read accessors: drain() must be
+// called from the launcher thread between runs, never while rank threads
+// are recording. Spans still open at drain time are dropped, exactly as
+// Tracer::spans() drops unterminated spans.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/tracer.hpp"
+
+namespace agcm::trace {
+
+class StreamingTraceSink {
+ public:
+  /// Opens `path` for writing. Events are buffered and flushed to the file
+  /// whenever the buffer exceeds `chunk_bytes` (default 1 MiB).
+  explicit StreamingTraceSink(std::string path,
+                              std::size_t chunk_bytes = std::size_t{1} << 20);
+  ~StreamingTraceSink();
+
+  StreamingTraceSink(const StreamingTraceSink&) = delete;
+  StreamingTraceSink& operator=(const StreamingTraceSink&) = delete;
+
+  /// Writes the document header and process/thread metadata for `nranks`
+  /// ranks. Must be called exactly once, before the first drain().
+  void begin(int nranks);
+
+  /// Moves every recorded event out of `tracer` (all ranks), appends the
+  /// serialised events to the file, and leaves the tracer's buffers empty
+  /// (tracer.total_events() == 0 afterwards). Callable any number of times.
+  void drain(Tracer& tracer);
+
+  /// Writes the footer and closes the file. Idempotent; also invoked by
+  /// the destructor so the file is always syntactically complete.
+  void close();
+
+  // --- observability about the observability --------------------------------
+  std::size_t spans_written() const { return spans_written_; }
+  std::size_t events_written() const { return events_written_; }
+  std::size_t bytes_written() const { return bytes_written_; }
+
+ private:
+  void append(const std::string& text);
+  void flush_buffer();
+  void emit_event_json(const std::string& body);
+  void drain_rank(int rank, std::vector<Event> events);
+
+  std::string path_;
+  std::size_t chunk_bytes_;
+  std::FILE* file_ = nullptr;
+  std::string buffer_;
+  bool began_ = false;
+  bool closed_ = false;
+  bool first_event_ = true;
+  std::size_t spans_written_ = 0;
+  std::size_t events_written_ = 0;
+  std::size_t bytes_written_ = 0;
+};
+
+}  // namespace agcm::trace

@@ -105,6 +105,16 @@ const std::vector<Event>& Tracer::events(int rank) const {
   return buf ? buf->events : kEmpty;
 }
 
+std::vector<Event> Tracer::take_events(int rank) {
+  if (rank < 0 || rank >= kMaxRanks) return {};
+  auto& slot = ranks_[static_cast<std::size_t>(rank)];
+  if (!slot) return {};
+  std::vector<Event> out = std::move(slot->events);
+  slot->events.clear();  // moved-from is valid-but-unspecified; make it empty
+  slot->open.clear();    // any still-open spans are dropped, like spans()
+  return out;
+}
+
 std::vector<SpanRecord> Tracer::spans() const {
   std::vector<SpanRecord> out;
   for (int rank = 0; rank < kMaxRanks; ++rank) {

@@ -122,6 +122,13 @@ class Tracer {
   /// because each rank's clock is monotone).
   const std::vector<Event>& events(int rank) const;
 
+  /// Moves out every event recorded by `rank`, leaving an empty buffer (the
+  /// storage for a chunked flush to a StreamingTraceSink — see
+  /// trace/stream_sink.hpp). Must be called between runs, like the other
+  /// read accessors; spans still open at the time are dropped, exactly as
+  /// spans() drops unterminated spans.
+  std::vector<Event> take_events(int rank);
+
   /// All matched spans across ranks, rank-major then begin-order.
   /// Unterminated spans (begin without end) are dropped.
   std::vector<SpanRecord> spans() const;

@@ -1,0 +1,260 @@
+// Tests for the Extra-P-style performance-model engine (src/perfmodel/).
+//
+// The fitter is pure arithmetic, so every test here builds a synthetic
+// series with a known generating law and checks that model selection
+// recovers the *discrete* complexity class exactly (grid exponents are
+// artefacts, coefficients are not). Verdict strings and report JSON are
+// also deterministic, so they are string-compared directly.
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "perfmodel/model.hpp"
+#include "perfmodel/report.hpp"
+
+namespace agcm::perfmodel {
+namespace {
+
+std::vector<double> powers_of_two(int count, double first = 2.0) {
+  std::vector<double> x;
+  double v = first;
+  for (int i = 0; i < count; ++i, v *= 2.0) x.push_back(v);
+  return x;
+}
+
+std::vector<double> apply(const std::vector<double>& x, double c0, double c1,
+                          Hypothesis hyp) {
+  std::vector<double> y;
+  for (double xi : x) y.push_back(c0 + c1 * basis(hyp, xi));
+  return y;
+}
+
+// --- basis / dominates / labels -------------------------------------------
+
+TEST(PerfModelBasis, MatchesClosedFormAndClampsLogAtOne) {
+  EXPECT_DOUBLE_EQ(basis({2.0, 0}, 3.0), 9.0);
+  EXPECT_DOUBLE_EQ(basis({1.0, 1}, 8.0), 8.0 * 3.0);
+  EXPECT_DOUBLE_EQ(basis({0.5, 2}, 4.0), 2.0 * 4.0);
+  // log2 clamped at zero for x <= 1, so phi(1) = 0 whenever b > 0.
+  EXPECT_DOUBLE_EQ(basis({1.0, 1}, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(basis({0.0, 0}, 1.0), 1.0);
+}
+
+TEST(PerfModelBasis, DominatesOrdersByPowerThenLogPower) {
+  EXPECT_TRUE(dominates({2.0, 0}, {1.0, 2}));   // power beats any log
+  EXPECT_TRUE(dominates({1.0, 1}, {1.0, 0}));   // equal power: log decides
+  EXPECT_FALSE(dominates({1.0, 0}, {1.0, 0}));  // strict: not reflexive
+  EXPECT_FALSE(dominates({1.0, 0}, {2.0, 0}));
+}
+
+TEST(PerfModelBasis, ComplexityLabelsAreCanonical) {
+  EXPECT_EQ(complexity_label({0.0, 0}), "1");
+  EXPECT_EQ(complexity_label({1.0, 0}), "x");
+  EXPECT_EQ(complexity_label({2.0, 0}), "x^2");
+  EXPECT_EQ(complexity_label({1.0, 1}), "x * log2(x)");
+  EXPECT_EQ(complexity_label({0.0, 2}), "log2(x)^2");
+}
+
+TEST(PerfModelBasis, DefaultGridIsComplexityAscending) {
+  const auto grid = default_grid();
+  ASSERT_EQ(grid.size(), 13u * 3u);  // a in 0..3 step .25, b in 0..2
+  EXPECT_EQ(grid.front(), (Hypothesis{0.0, 0}));
+  EXPECT_EQ(grid.back(), (Hypothesis{3.0, 2}));
+  for (std::size_t i = 1; i < grid.size(); ++i)
+    EXPECT_TRUE(dominates(grid[i], grid[i - 1]))
+        << "grid not ascending at index " << i;
+}
+
+// --- model selection on synthetic series ----------------------------------
+
+TEST(PerfModelFit, RecoversPureQuadratic) {
+  const auto x = powers_of_two(6);
+  const FitResult fit = fit_model(x, apply(x, 0.0, 3.0, {2.0, 0}));
+  EXPECT_EQ(fit.hyp, (Hypothesis{2.0, 0}));
+  EXPECT_NEAR(fit.c1, 3.0, 1e-9);
+  EXPECT_NEAR(fit.c0, 0.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_EQ(fit.label(), "x^2");
+}
+
+TEST(PerfModelFit, RecoversNLogNWithOffset) {
+  const auto x = powers_of_two(6);  // exact log2 values at powers of two
+  const FitResult fit = fit_model(x, apply(x, 7.0, 5.0, {1.0, 1}));
+  EXPECT_EQ(fit.hyp, (Hypothesis{1.0, 1}));
+  EXPECT_NEAR(fit.c0, 7.0, 1e-8);
+  EXPECT_NEAR(fit.c1, 5.0, 1e-9);
+  EXPECT_EQ(fit.label(), "x * log2(x)");
+}
+
+TEST(PerfModelFit, ConstantSeriesSelectsConstantNotHighOrderTie) {
+  // Every hypothesis threads a flat line with c1 = 0; the strict-<
+  // complexity-ascending scan must keep (0,0), not any later tie.
+  const std::vector<double> x = {2, 4, 8, 16, 32};
+  const std::vector<double> y = {4.5, 4.5, 4.5, 4.5, 4.5};
+  const FitResult fit = fit_model(x, y);
+  EXPECT_EQ(fit.hyp, (Hypothesis{0.0, 0}));
+  EXPECT_DOUBLE_EQ(fit.c0, 4.5);
+  EXPECT_DOUBLE_EQ(fit.evaluate(64.0), 4.5);
+}
+
+TEST(PerfModelFit, DecreasingSeriesFallsBackToConstant) {
+  // Costs are modelled as non-decreasing: every growing hypothesis would
+  // need c1 < 0 and is rejected, leaving the constant fit.
+  const std::vector<double> x = {2, 4, 8, 16, 32};
+  const std::vector<double> y = {10.0, 5.0, 2.5, 1.25, 0.625};
+  const FitResult fit = fit_model(x, y);
+  EXPECT_EQ(fit.hyp, (Hypothesis{0.0, 0}));
+}
+
+TEST(PerfModelFit, EvaluateReproducesInputsOnExactFit) {
+  const auto x = powers_of_two(5);
+  const auto y = apply(x, 2.0, 0.5, {1.5, 0});
+  const FitResult fit = fit_model(x, y);
+  EXPECT_EQ(fit.hyp, (Hypothesis{1.5, 0}));
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(fit.evaluate(x[i]), y[i], 1e-7 * y[i]);
+}
+
+TEST(PerfModelFit, RejectsDegenerateInputs) {
+  EXPECT_THROW(fit_model({1, 2}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(fit_model({0, 1, 2}, {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(fit_model({-1, 1, 2}, {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(fit_model({2, 4, 8}, {1, 2}), std::invalid_argument);
+}
+
+TEST(PerfModelFit, FitHypothesisRejectsNegativeSlopeAndTinySamples) {
+  const std::vector<double> x = {2, 4, 8, 16};
+  const std::vector<double> y = {8, 4, 2, 1};
+  EXPECT_FALSE(fit_hypothesis(x, y, {1.0, 0}).has_value());  // c1 < 0
+  EXPECT_FALSE(fit_hypothesis({2.0}, {1.0}, {1.0, 0}).has_value());
+  const auto ok = fit_hypothesis(x, y, {0.0, 0});  // constant always fits
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_DOUBLE_EQ(ok->c0, 3.75);
+}
+
+// --- verdicts -------------------------------------------------------------
+
+Expectation quadratic_window() {
+  Expectation e;
+  e.expected = "~ x^2";
+  e.min_a = 1.75;
+  e.max_a = 2.25;
+  e.min_b = 0;
+  e.max_b = 1;
+  e.min_r2 = 0.97;
+  return e;
+}
+
+TEST(PerfModelVerdict, PassesInsideWindowWithDeterministicReason) {
+  const auto x = powers_of_two(6);
+  const FitResult fit = fit_model(x, apply(x, 0.0, 2.0, {2.0, 0}));
+  const Verdict v = check_fit(fit, quadratic_window());
+  EXPECT_TRUE(v.pass);
+  // The reason is built from grid exponents and pre-rounded thresholds
+  // only, so it is byte-stable.
+  EXPECT_NE(v.reason.find("x^2"), std::string::npos) << v.reason;
+}
+
+TEST(PerfModelVerdict, FailsOutsideExponentWindow) {
+  const auto x = powers_of_two(6);
+  const FitResult fit = fit_model(x, apply(x, 0.0, 2.0, {1.0, 0}));
+  const Verdict v = check_fit(fit, quadratic_window());
+  EXPECT_FALSE(v.pass);
+  EXPECT_NE(v.reason.find("exponent"), std::string::npos) << v.reason;
+}
+
+TEST(PerfModelVerdict, FailsOnLowR2EvenWithRightExponent) {
+  // Quadratic trend plus violent noise: the class may still be x^2-ish,
+  // so force the failure through the R^2 floor.
+  const std::vector<double> x = {2, 4, 8, 16, 32, 64};
+  std::vector<double> y;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    y.push_back(x[i] * x[i] * (i % 2 == 0 ? 3.0 : 0.2));
+  Expectation e = quadratic_window();
+  e.min_a = 0.0;
+  e.max_a = 3.0;
+  e.max_b = 2;
+  e.min_r2 = 0.999;
+  const FitResult fit = fit_model(x, y);
+  ASSERT_LT(fit.r2, 0.999);
+  EXPECT_FALSE(check_fit(fit, e).pass);
+}
+
+// --- report assembly ------------------------------------------------------
+
+TEST(PerfModelReport, AnalyzePipelineAndAllPassLogic) {
+  const auto x = powers_of_two(6);
+  Series s;
+  s.phase = "filter.convolution-ring";
+  s.parameter = "nlon";
+  s.metric = "max_rank_sec";
+  s.x = x;
+  s.y = apply(x, 0.0, 1.5, {2.0, 0});
+
+  ModelReport report("unit");
+  report.set_config("machine", trace::JsonValue("test"));
+  report.add_phase(analyze(s, quadratic_window()));
+  EXPECT_TRUE(report.all_pass());
+
+  report.add_gate("imbalance_after_lb", false, "12% > 8%");
+  EXPECT_FALSE(report.all_pass());  // one failing gate sinks the report
+}
+
+TEST(PerfModelReport, JsonIsSchemaTaggedInsertionOrderedAndDeterministic) {
+  const auto x = powers_of_two(5);
+  Series s;
+  s.phase = "filter.fft-lines";
+  s.parameter = "nlon";
+  s.metric = "max_rank_sec";
+  s.x = x;
+  s.y = apply(x, 0.0, 2.0, {1.0, 1});
+  Expectation e;
+  e.expected = "~ x log x";
+  e.min_a = 0.75;
+  e.max_a = 1.25;
+  e.min_b = 0;
+  e.max_b = 2;
+
+  auto build = [&] {
+    ModelReport report("unit");
+    report.set_config("mesh", trace::JsonValue("1x4"));
+    report.add_phase(analyze(s, e));
+    report.add_gate("g", true, "ok");
+    return report.to_json().dump_pretty();
+  };
+  const std::string once = build();
+  EXPECT_EQ(once, build());  // byte-identical across rebuilds
+
+  std::string error;
+  const auto parsed = trace::JsonValue::parse(once, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const trace::JsonValue& doc = *parsed;
+  EXPECT_EQ(doc.find("schema")->as_string(), "agcm-perfmodel-v1");
+  EXPECT_EQ(doc.find("report")->as_string(), "unit");
+  EXPECT_TRUE(doc.find("all_pass")->as_bool());
+  ASSERT_EQ(doc.find("phases")->items().size(), 1u);
+  const trace::JsonValue& phase = doc.find("phases")->items().front();
+  EXPECT_EQ(phase.find("phase")->as_string(), "filter.fft-lines");
+  const trace::JsonValue& model = *phase.find("model");
+  EXPECT_EQ(model.find("complexity")->as_string(), "x * log2(x)");
+  EXPECT_DOUBLE_EQ(model.find("exponent_a")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(model.find("log_power_b")->as_number(), 1.0);
+  EXPECT_TRUE(phase.find("verdict")->find("pass")->as_bool());
+  EXPECT_EQ(phase.find("series")->find("x")->items().size(), x.size());
+  EXPECT_EQ(doc.find("gates")->items().size(), 1u);
+}
+
+TEST(PerfModelReport, FitJsonCarriesAllSentinelComparedFields) {
+  const auto x = powers_of_two(5);
+  const FitResult fit = fit_model(x, apply(x, 1.0, 2.0, {1.0, 0}));
+  const trace::JsonValue j = fit_json(fit);
+  for (const char* key : {"complexity", "exponent_a", "log_power_b", "c0",
+                          "c1", "r2", "rmse", "cv_rmse"})
+    EXPECT_NE(j.find(key), nullptr) << "missing " << key;
+  EXPECT_EQ(j.find("complexity")->as_string(), "x");
+}
+
+}  // namespace
+}  // namespace agcm::perfmodel

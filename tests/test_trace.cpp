@@ -5,6 +5,9 @@
 // changes virtual-time results by exactly zero.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -12,9 +15,12 @@
 #include "core/model.hpp"
 #include "simnet/machine.hpp"
 #include "trace/export.hpp"
+#include "trace/histogram.hpp"
 #include "trace/json.hpp"
 #include "trace/metrics.hpp"
+#include "trace/stream_sink.hpp"
 #include "trace/tracer.hpp"
+#include "util/rng.hpp"
 
 namespace agcm::trace {
 namespace {
@@ -297,6 +303,294 @@ TEST(Metrics, NoOpWhenDisabled) {
   MetricsRegistry::instance().set_gauge("ghost", 0, 1.0);
   MetricsRegistry::instance().observe("ghost", 1.0);
   EXPECT_TRUE(MetricsRegistry::instance().names().empty());
+}
+
+TEST(Export, ChromeTraceEscapesHostileNamesExactly) {
+  TraceGuard guard(1);
+  // Names with quotes, backslashes, control characters and non-ASCII bytes
+  // must survive a JSON round-trip byte-for-byte (regression test for the
+  // exporter's string escaping).
+  const std::string hostile = "phase \"x\\y\"\n\ttab\x01 end";
+  Tracer::instance().begin_span(0, hostile, 0.0, {});
+  Tracer::instance().end_span(0, 1.0, {1.0, 0.0, 0.0});
+  Tracer::instance().instant(0, "marker \"quoted\"", 0.5);
+
+  const std::string text = chrome_trace_json(Tracer::instance());
+  std::string error;
+  const auto doc = JsonValue::parse(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  bool found_span = false, found_instant = false;
+  for (const JsonValue& e : doc->find("traceEvents")->items()) {
+    const std::string& ph = e.find("ph")->as_string();
+    if (ph == "X") {
+      EXPECT_EQ(e.find("name")->as_string(), hostile);
+      found_span = true;
+    } else if (ph == "i") {
+      EXPECT_EQ(e.find("name")->as_string(), "marker \"quoted\"");
+      found_instant = true;
+    }
+  }
+  EXPECT_TRUE(found_span);
+  EXPECT_TRUE(found_instant);
+}
+
+TEST(Export, CsvDoublesEmbeddedQuotes) {
+  TraceGuard guard(1);
+  Tracer::instance().begin_span(0, "say[\"x\"]", 0.0, {});
+  Tracer::instance().end_span(0, 1.0, {1.0, 0.0, 0.0});
+  const std::string csv = trace_csv(Tracer::instance());
+  // RFC 4180: embedded quotes are doubled inside a quoted field.
+  EXPECT_NE(csv.find("\"say[\"\"x\"\"]\""), std::string::npos) << csv;
+}
+
+// ----------------------------------------------------------- histogram ----
+
+/// The exact rule LogHistogram::percentile targets, applied to a sorted
+/// copy of the samples.
+double nearest_rank_oracle(std::vector<double> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = LogHistogram::target_rank(sorted.size(), q);
+  return sorted[static_cast<std::size_t>(rank)];
+}
+
+TEST(Histogram, PercentilesTrackSortedOracleWithinBinError) {
+  // Worst-case relative error: the estimate and the true order statistic
+  // share a bin whose bounds are a factor 2^(1/kSubBins) apart.
+  const double tol = std::exp2(1.0 / LogHistogram::kSubBins) - 1.0;
+  Rng rng(1996);
+  LogHistogram hist;
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    // Heavy dynamic range: ~6 orders of magnitude.
+    const double v = std::exp(rng.uniform(-7.0, 7.0));
+    samples.push_back(v);
+    hist.add(v);
+  }
+  for (double q : {0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+    const double est = hist.percentile(q);
+    const double exact = nearest_rank_oracle(samples, q);
+    EXPECT_NEAR(est / exact, 1.0, tol) << "q=" << q;
+  }
+  // Bounded memory: ~kSubBins bins per octave of observed range.
+  const double octaves = std::log2(hist.max() / hist.min());
+  EXPECT_LE(hist.bin_count(),
+            static_cast<std::size_t>(octaves + 2) * LogHistogram::kSubBins);
+}
+
+TEST(Histogram, OrderIndependenceIsExact) {
+  std::vector<double> values;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) values.push_back(rng.uniform(0.001, 1000.0));
+  LogHistogram forward, backward;
+  for (const double v : values) forward.add(v);
+  for (auto it = values.rbegin(); it != values.rend(); ++it)
+    backward.add(*it);
+  for (double q : {1.0, 25.0, 50.0, 75.0, 99.0}) {
+    EXPECT_TRUE(same_bits(forward.percentile(q), backward.percentile(q)));
+  }
+}
+
+TEST(Histogram, NonPositiveBucketSortsFirstAndMergeWorks) {
+  LogHistogram hist;
+  for (int i = 0; i < 10; ++i) hist.add(0.0);
+  for (int i = 0; i < 10; ++i) hist.add(100.0);
+  // Rank 0..9 are the zeros: p25 targets rank round(19*0.25)=5 -> 0.
+  EXPECT_DOUBLE_EQ(hist.percentile(25.0), 0.0);
+  EXPECT_GT(hist.percentile(75.0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 100.0);
+
+  LogHistogram other;
+  other.add(-5.0);
+  other.merge(hist);
+  EXPECT_EQ(other.count(), 21u);
+  EXPECT_DOUBLE_EQ(other.min(), -5.0);
+  EXPECT_DOUBLE_EQ(other.percentile(0.0), -2.5);  // nonpos-bucket midpoint
+  // Empty edge case.
+  LogHistogram empty;
+  EXPECT_DOUBLE_EQ(empty.percentile(50.0), 0.0);
+  EXPECT_EQ(empty.bin_count(), 0u);
+}
+
+// ------------------------------------------------------ streaming sink ----
+
+TEST(StreamSink, DrainEmptiesTracerAndEmitsEquivalentSpans) {
+  TraceGuard guard(2);
+  const std::string path = "test_stream_sink_trace.json";
+  StreamingTraceSink sink(path, /*chunk_bytes=*/64);  // force many flushes
+  sink.begin(2);
+
+  // Two "runs" drained separately, with an unterminated span that must be
+  // dropped (same rule as Tracer::spans()) and a hostile name that must be
+  // escaped.
+  Tracer::instance().begin_span(0, "alpha \"q\"", 0.0, {});
+  Tracer::instance().end_span(0, 1.0, {1.0, 0.0, 0.0});
+  Tracer::instance().counter(1, "bytes", 0.5, 42.0);
+  Tracer::instance().begin_span(1, "open-forever", 0.25, {});
+  sink.drain(Tracer::instance());
+  EXPECT_EQ(Tracer::instance().total_events(), 0u);
+
+  Tracer::instance().begin_run(2);
+  Tracer::instance().begin_span(1, "beta", 2.0, {1.0, 0.5, 0.0});
+  Tracer::instance().end_span(1, 3.0, {1.5, 1.0, 0.0});
+  Tracer::instance().instant(0, "tick", 2.5);
+  sink.drain(Tracer::instance());
+  sink.close();
+
+  EXPECT_EQ(sink.spans_written(), 2u);
+  EXPECT_GT(sink.bytes_written(), 0u);
+
+  const std::string text = read_text_file(path);
+  std::string error;
+  const auto doc = JsonValue::parse(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  int spans = 0, counters = 0, instants = 0, metadata = 0;
+  bool saw_alpha = false, saw_beta = false;
+  for (const JsonValue& e : doc->find("traceEvents")->items()) {
+    const std::string& ph = e.find("ph")->as_string();
+    const std::string& name = e.find("name")->as_string();
+    EXPECT_NE(name, "open-forever");  // unterminated: dropped
+    if (ph == "X") {
+      ++spans;
+      if (name == "alpha \"q\"") {
+        saw_alpha = true;
+        EXPECT_DOUBLE_EQ(e.find("dur")->as_number(), 1.0e6);
+      }
+      if (name == "beta") {
+        saw_beta = true;
+        EXPECT_DOUBLE_EQ(e.find("args")->find("overhead_sec")->as_number(),
+                         0.5);
+      }
+    } else if (ph == "C") {
+      ++counters;
+    } else if (ph == "i") {
+      ++instants;
+    } else if (ph == "M") {
+      ++metadata;
+    }
+  }
+  EXPECT_EQ(spans, 2);
+  EXPECT_EQ(counters, 1);
+  EXPECT_EQ(instants, 1);
+  EXPECT_GE(metadata, 3);
+  EXPECT_TRUE(saw_alpha);
+  EXPECT_TRUE(saw_beta);
+  std::remove(path.c_str());
+}
+
+TEST(StreamSink, CloseWithoutDrainYieldsValidEmptyTrace) {
+  const std::string path = "test_stream_sink_empty.json";
+  {
+    StreamingTraceSink sink(path);
+    // Destructor must close and leave a syntactically complete document.
+  }
+  std::string error;
+  const auto doc = JsonValue::parse(read_text_file(path), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_TRUE(doc->find("traceEvents")->is_array());
+  std::remove(path.c_str());
+}
+
+TEST(Tracer, TakeEventsMovesOutAndDropsOpenSpans) {
+  TraceGuard guard(1);
+  Tracer::instance().begin_span(0, "done", 0.0, {});
+  Tracer::instance().end_span(0, 1.0, {1.0, 0.0, 0.0});
+  Tracer::instance().begin_span(0, "still-open", 2.0, {});
+  auto events = Tracer::instance().take_events(0);
+  EXPECT_EQ(events.size(), 3u);
+  EXPECT_EQ(Tracer::instance().total_events(), 0u);
+  EXPECT_TRUE(Tracer::instance().take_events(0).empty());
+  EXPECT_TRUE(Tracer::instance().take_events(-1).empty());
+  // The open stack was cleared too: a fresh end_span has nothing to match
+  // and is dropped rather than pairing with the stale begin.
+  Tracer::instance().end_span(0, 3.0, {});
+  EXPECT_TRUE(Tracer::instance().spans().empty());
+}
+
+// ----------------------------------------- metrics edge cases ------------
+
+TEST(Metrics, EmptyRegistrySerialisesToEmptyObjects) {
+  TraceGuard guard(1);
+  const std::string text = MetricsRegistry::instance().to_json().dump();
+  std::string error;
+  const auto doc = JsonValue::parse(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("counters")->size(), 0u);
+  EXPECT_EQ(doc->find("gauges")->size(), 0u);
+  EXPECT_EQ(doc->find("distributions")->size(), 0u);
+  EXPECT_DOUBLE_EQ(MetricsRegistry::instance().percentile("absent", 50.0),
+                   0.0);
+  EXPECT_EQ(MetricsRegistry::instance().histogram("absent").count(), 0u);
+}
+
+TEST(Metrics, ResetBetweenPhasesIsolatesRecordings) {
+  TraceGuard guard(2);
+  auto& reg = MetricsRegistry::instance();
+  reg.add("phase.a", 0, 5.0);
+  reg.observe("lat", 1.0);
+  EXPECT_DOUBLE_EQ(reg.total("phase.a"), 5.0);
+  reg.reset();
+  EXPECT_DOUBLE_EQ(reg.total("phase.a"), 0.0);
+  EXPECT_EQ(reg.distribution("lat").count(), 0u);
+  reg.add("phase.b", 1, 2.0);
+  EXPECT_EQ(reg.names(), std::vector<std::string>{"phase.b"});
+}
+
+TEST(Metrics, DistributionPercentilesMatchOracleAndAppearInJson) {
+  TraceGuard guard(1);
+  auto& reg = MetricsRegistry::instance();
+  std::vector<double> samples;
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.uniform(0.5, 50.0);
+    samples.push_back(v);
+    reg.observe("cost", v);
+  }
+  const double tol = std::exp2(1.0 / LogHistogram::kSubBins) - 1.0;
+  for (double q : {50.0, 95.0, 99.0}) {
+    EXPECT_NEAR(reg.percentile("cost", q) / nearest_rank_oracle(samples, q),
+                1.0, tol)
+        << "q=" << q;
+  }
+  const auto doc = JsonValue::parse(reg.to_json().dump());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* dist = doc->find("distributions")->find("cost");
+  ASSERT_NE(dist, nullptr);
+  for (const char* key : {"count", "mean", "stddev", "min", "max", "p50",
+                          "p95", "p99"}) {
+    EXPECT_NE(dist->find(key), nullptr) << key;
+  }
+  EXPECT_DOUBLE_EQ(dist->find("p50")->as_number(),
+                   reg.percentile("cost", 50.0));
+}
+
+TEST(Metrics, ConcurrentObserveIsLosslessAndOrderIndependent) {
+  TraceGuard guard(8);
+  auto& reg = MetricsRegistry::instance();
+  constexpr int kThreads = 8;
+  constexpr int kObs = 2'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kObs; ++i)
+        reg.observe("conc", rng.uniform(0.01, 10.0));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.distribution("conc").count(),
+            static_cast<std::uint64_t>(kThreads) * kObs);
+  // The histogram is pure counts, so the percentile is a deterministic
+  // function of the sample *multiset*: recompute serially and compare bits.
+  LogHistogram serial;
+  for (int t = 0; t < kThreads; ++t) {
+    Rng rng(static_cast<std::uint64_t>(t) + 1);
+    for (int i = 0; i < kObs; ++i) serial.add(rng.uniform(0.01, 10.0));
+  }
+  for (double q : {50.0, 95.0, 99.0}) {
+    EXPECT_TRUE(same_bits(reg.percentile("conc", q), serial.percentile(q)));
+  }
 }
 
 // --------------------------------------------- end-to-end model runs ------

@@ -52,6 +52,38 @@ REQUIRED_FIELDS = {
         "gate_physics_speedup_min": float,
         "gates_passed": bool,
     },
+    "stencil_layout": {
+        "paper_anchor_paragon": float,
+        "paper_anchor_t3d": float,
+        "anchor_speedup_paragon": float,
+        "anchor_speedup_t3d": float,
+    },
+    "resolution_scaling": {
+        "eff_coarsest": float,
+        "eff_finest": float,
+        "eff_improves_with_resolution": bool,
+    },
+    "ablation_comm": {
+        "ring_vs_tree_msg_ratio": float,
+        "tree_more_bytes_than_ring": bool,
+        "lb_gain_short_mesh": float,
+        "lb_gain_tall_mesh": float,
+        "lb_gain_grows_with_rows": bool,
+    },
+    "scaling_model": {
+        "perf_model_path": str,
+        "fit_conv_exponent_a": float,
+        "fit_conv_log_power_b": float,
+        "fit_fft_exponent_a": float,
+        "fit_fft_log_power_b": float,
+        "fit_transpose_exponent_a": float,
+        "fit_transpose_log_power_b": float,
+        "conv_dominates_fft": bool,
+        "imbalance_before": float,
+        "imbalance_after": float,
+        "all_pass": bool,
+        "perf_model": dict,
+    },
 }
 
 
@@ -80,6 +112,13 @@ def check_required_fields(path: str, doc: dict) -> str:
             f", mode={doc['mode']}, bitwise="
             f"{doc['advection_bitwise_identical'] and doc['physics_bitwise_identical']}"
             f", gates_passed={doc['gates_passed']}"
+        )
+    if doc["bench"] == "scaling_model":
+        return (
+            f", conv x^{doc['fit_conv_exponent_a']:g} vs fft "
+            f"x^{doc['fit_fft_exponent_a']:g}, imbalance "
+            f"{doc['imbalance_before']:.0%} -> {doc['imbalance_after']:.0%}, "
+            f"all_pass={doc['all_pass']}"
         )
     return f", {len(required)} required fields present"
 
@@ -163,6 +202,59 @@ def check_chrome_trace(path: str, doc: dict) -> str:
     )
 
 
+def check_google_benchmark(path: str, doc: dict) -> str:
+    """google-benchmark --benchmark_format=json (bench_pointwise_vm)."""
+    context = doc.get("context")
+    if not isinstance(context, dict):
+        fail(path, "'context' must be an object")
+    for key in ("date", "num_cpus"):
+        if key not in context:
+            fail(path, f"context missing '{key}'")
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        fail(path, "'benchmarks' must be a non-empty list")
+    for i, bm in enumerate(benchmarks):
+        if not isinstance(bm, dict):
+            fail(path, f"benchmarks[{i}] is not an object")
+        for key in ("name", "real_time", "cpu_time", "time_unit"):
+            if key not in bm:
+                fail(path, f"benchmarks[{i}] missing '{key}'")
+        if not isinstance(bm["real_time"], (int, float)) or bm["real_time"] < 0:
+            fail(path, f"benchmarks[{i}].real_time must be a non-negative "
+                       "number")
+    return f"google-benchmark: {len(benchmarks)} benchmark(s)"
+
+
+def check_perf_model(path: str, doc: dict) -> str:
+    """PERF_MODEL.json (agcm-perfmodel-v1, written by bench_scaling_model)."""
+    phases = doc.get("phases")
+    if not isinstance(phases, list) or not phases:
+        fail(path, "'phases' must be a non-empty list")
+    for i, phase in enumerate(phases):
+        for key in ("phase", "series", "model", "expectation", "verdict"):
+            if key not in phase:
+                fail(path, f"phases[{i}] missing '{key}'")
+        model = phase["model"]
+        for key in ("complexity", "exponent_a", "log_power_b", "c0", "c1",
+                    "r2", "cv_rmse"):
+            if key not in model:
+                fail(path, f"phases[{i}].model missing '{key}'")
+        series = phase["series"]
+        if len(series.get("x", [])) != len(series.get("y", [])):
+            fail(path, f"phases[{i}].series x/y length mismatch")
+        if not isinstance(phase["verdict"].get("pass"), bool):
+            fail(path, f"phases[{i}].verdict.pass must be bool")
+    gates = doc.get("gates")
+    if not isinstance(gates, list):
+        fail(path, "'gates' must be a list")
+    if not isinstance(doc.get("all_pass"), bool):
+        fail(path, "'all_pass' must be bool")
+    verdicts = sum(1 for p in phases if p["verdict"]["pass"]) + sum(
+        1 for g in gates if g.get("pass"))
+    return (f"perf model: {len(phases)} phase(s), {len(gates)} gate(s), "
+            f"{verdicts} passing, all_pass={doc['all_pass']}")
+
+
 def check_file(path: str) -> str:
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
@@ -170,6 +262,10 @@ def check_file(path: str) -> str:
         fail(path, "top level must be an object")
     if "traceEvents" in doc:
         return check_chrome_trace(path, doc)
+    if doc.get("schema") == "agcm-perfmodel-v1":
+        return check_perf_model(path, doc)
+    if "context" in doc and "benchmarks" in doc:
+        return check_google_benchmark(path, doc)
     return check_bench(path, doc)
 
 
