@@ -234,7 +234,7 @@ int main(int argc, char** argv) {
       "ranks, physics imbalance <= 8% after two pairwise iterations.\n");
 
   trace::StreamingTraceSink sink(trace_path);
-  sink.begin(64);  // thread metadata up to the largest cell (8x8 physics)
+  sink.begin(256);  // thread metadata up to the largest cell (P=256 sweep B)
 
   perfmodel::ModelReport model_report("scaling_model");
   {
@@ -294,12 +294,17 @@ int main(int argc, char** argv) {
       perfmodel::analyze(std::move(fft_series), fft_expect);
 
   // --- Sweep B: ranks --------------------------------------------------------
-  const std::vector<int> widths = {2, 4, 8, 16};
+  // Two decades of P (2 -> 256), feasible only because the fiber-scheduled
+  // machine (docs/simnet.md) runs hundreds of virtual ranks without
+  // hundreds of OS threads. nlon = 288 keeps >= 1 zonal column per rank at
+  // the widest cell (uneven 2/1-column boxes at P = 256 are exercised
+  // deliberately).
+  const std::vector<int> widths = {2, 4, 8, 16, 32, 64, 128, 256};
   perfmodel::Series transpose_series{"filter.fft-transpose", "ranks",
                                      "max_rank_messages", {}, {}};
   for (const int cols : widths) {
     const FilterCell cell = run_filter_cell(
-        144, cols, {filter::FilterAlgorithm::kFftTranspose}, sink);
+        288, cols, {filter::FilterAlgorithm::kFftTranspose}, sink);
     transpose_series.add(cols, cell.max_rank_msgs);
     std::printf(
         "  ranks %2d: transpose %.6f s, %.1f messages/rank (per apply)\n",

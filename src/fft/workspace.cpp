@@ -3,6 +3,11 @@
 namespace agcm::fft {
 
 FftWorkspace& FftWorkspace::local() {
+  // Per-rank when a simnet backend installed the rank's slot (the slot
+  // pins the workspace to the virtual rank across fiber migration);
+  // thread_local otherwise (tests/tools driving transforms off-machine).
+  if (util::ExecSlot* slot = util::ExecSlot::current())
+    return slot->get<FftWorkspace>();
   thread_local FftWorkspace workspace;
   return workspace;
 }

@@ -1,18 +1,22 @@
-// Thread-local FFT workspace: plan cache + reusable scratch buffers.
+// Per-rank FFT workspace: plan cache + reusable scratch buffers.
 //
-// The virtual multicomputer runs one host thread per virtual rank, so a
-// thread_local workspace is exactly a *per-rank* workspace: every rank gets
-// its own plans and buffers, no locking, no false sharing, and — after the
-// first call at a given length — no heap allocation on any filter or
+// `local()` resolves through the executing rank's util::ExecSlot (the
+// explicit per-rank handle both simnet backends install around rank code —
+// see util/exec_local.hpp), so every virtual rank gets its own plans and
+// buffers even when many rank fibers share one worker thread: no locking,
+// no false sharing, no cross-rank reuse after a fiber migrates, and — after
+// the first call at a given length — no heap allocation on any filter or
 // transform path (the acceptance criterion the allocation-counting test in
-// tests/test_fft_alloc.cpp enforces).
+// tests/test_fft_alloc.cpp enforces). Callers off the virtual machine
+// (tests, tools, benches driving transforms directly) fall back to a plain
+// thread_local instance.
 //
 // Lifetime rules (see docs/fft.md):
-//   * `local()` lives as long as its thread; plan references returned by
-//     `plan(n)` remain valid for the thread's lifetime (plans are never
-//     evicted).
+//   * `local()` lives as long as its rank's run (or its thread, for the
+//     off-machine fallback); plan references returned by `plan(n)` remain
+//     valid for that lifetime (plans are never evicted).
 //   * At most ONE `complex_buffer()` borrow may be live at a time per
-//     thread. FftPlan transforms never borrow, so a caller may hold the
+//     rank. FftPlan transforms never borrow, so a caller may hold the
 //     buffer across forward/inverse calls; helpers that borrow internally
 //     (FftPlan::inverse_to_real_pair, the serial filter kernels) must not
 //     be called while the caller holds a borrow.
@@ -25,12 +29,14 @@
 #include <vector>
 
 #include "fft/fft.hpp"
+#include "util/exec_local.hpp"
 
 namespace agcm::fft {
 
 class FftWorkspace {
  public:
-  /// The calling thread's (= the virtual rank's) workspace.
+  /// The executing virtual rank's workspace (via the installed ExecSlot),
+  /// or a thread_local fallback for callers outside any SPMD run.
   static FftWorkspace& local();
 
   FftWorkspace(const FftWorkspace&) = delete;
@@ -58,6 +64,7 @@ class FftWorkspace {
   void reset();
 
  private:
+  friend class agcm::util::ExecSlot;  // slot-local construction in local()
   FftWorkspace() = default;
 
   struct Entry {

@@ -5,8 +5,30 @@
 
 #include "comm/packed.hpp"
 #include "util/error.hpp"
+#include "util/exec_local.hpp"
 
 namespace agcm::filter {
+
+namespace {
+
+/// Growth-only scratch for the per-destination message-size vectors handed
+/// to alltoallv_packed. Per *rank*, not per thread: the exchange blocks in
+/// recv, so under the fiber backend another rank's fiber can run on this
+/// worker thread mid-call — a thread_local here would let it clobber the
+/// sizes while the parked exchange still reads them.
+struct SizesScratch {
+  std::vector<std::size_t> send;
+  std::vector<std::size_t> recv;
+};
+
+SizesScratch& sizes_scratch() {
+  if (util::ExecSlot* slot = util::ExecSlot::current())
+    return slot->get<SizesScratch>();
+  thread_local SizesScratch scratch;  // off-machine callers (tests/tools)
+  return scratch;
+}
+
+}  // namespace
 
 RowTransposePlan::RowTransposePlan(const comm::Mesh2D& mesh,
                                    const grid::Decomp2D& decomp,
@@ -43,8 +65,8 @@ void RowTransposePlan::to_lines_into(const comm::Mesh2D& mesh,
   // per-destination line list pure arithmetic (q = c, c+ncols, ...), so no
   // permutation tables and no staging buffer: each destination's chunks are
   // gathered straight into its pooled wire buffer. The count scratch is
-  // thread_local growth-only, so the steady-state path never allocates.
-  static thread_local std::vector<std::size_t> send_tl, recv_tl;
+  // rank-local growth-only, so the steady-state path never allocates.
+  auto& [send_tl, recv_tl] = sizes_scratch();
   send_tl.resize(static_cast<std::size_t>(ncols_));
   recv_tl.resize(static_cast<std::size_t>(ncols_));
   std::size_t send_total = 0;
@@ -88,7 +110,7 @@ void RowTransposePlan::to_chunks_into(const comm::Mesh2D& mesh,
   AGCM_ASSERT(full_lines.size() == line_elems());
   AGCM_ASSERT(chunks.size() == lines_.size() * ni);
 
-  static thread_local std::vector<std::size_t> send_tl, recv_tl;
+  auto& [send_tl, recv_tl] = sizes_scratch();
   send_tl.resize(static_cast<std::size_t>(ncols_));
   recv_tl.resize(static_cast<std::size_t>(ncols_));
   std::size_t send_total = 0;
@@ -222,7 +244,7 @@ void BalancedFilterPlan::redistribute_into(const comm::Mesh2D& mesh,
   AGCM_ASSERT(my_chunks.size() == my_chunk_elems());
   AGCM_ASSERT(held.size() == held_chunk_elems());
   const auto nrows = send_lines_.size();
-  static thread_local std::vector<std::size_t> send_tl, recv_tl;
+  auto& [send_tl, recv_tl] = sizes_scratch();
   send_tl.resize(nrows);
   recv_tl.resize(nrows);
   for (std::size_t r = 0; r < nrows; ++r) {
@@ -252,7 +274,7 @@ void BalancedFilterPlan::restore_into(const comm::Mesh2D& mesh,
   AGCM_ASSERT(held_chunks.size() == held_chunk_elems());
   AGCM_ASSERT(mine.size() == my_chunk_elems());
   const auto nrows = send_lines_.size();
-  static thread_local std::vector<std::size_t> send_tl, recv_tl;
+  auto& [send_tl, recv_tl] = sizes_scratch();
   send_tl.resize(nrows);
   recv_tl.resize(nrows);
   for (std::size_t r = 0; r < nrows; ++r) {

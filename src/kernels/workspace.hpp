@@ -1,25 +1,29 @@
 // Per-rank kernel-engine workspace: growth-only scratch for the dynamics
 // and physics hot loops.
 //
-// Same lifetime pattern as fft::FftWorkspace (docs/fft.md): the virtual
-// multicomputer runs one host thread per virtual rank, so a thread_local
-// workspace is exactly a *per-rank* workspace — no locking, no false
-// sharing, and after the first step at a given local shape NO heap
-// allocation on the advection or column-physics path (the acceptance
-// criterion tests/test_kernel_alloc.cpp enforces, including under
-// ASan+UBSan in CI).
+// Same lifetime pattern as fft::FftWorkspace (docs/fft.md): `local()`
+// resolves through the executing rank's util::ExecSlot — the explicit
+// per-rank handle both simnet backends install around rank code (see
+// util/exec_local.hpp) — so the workspace stays a *per-rank* workspace even
+// when many rank fibers share one worker thread: no locking, no false
+// sharing, no cross-rank reuse after a fiber migrates, and after the first
+// step at a given local shape NO heap allocation on the advection or
+// column-physics path (the acceptance criterion tests/test_kernel_alloc.cpp
+// enforces, including under ASan+UBSan in CI). Callers off the virtual
+// machine fall back to a plain thread_local instance.
 //
 // Lifetime rules (docs/kernels.md):
-//   * `local()` lives as long as its thread. References and spans returned
-//     by the accessors stay valid until the next call to the SAME accessor
-//     with a different shape/size (growth or reshape reallocates) or to
+//   * `local()` lives as long as its rank's run (or its thread, for the
+//     off-machine fallback). References and spans returned by the
+//     accessors stay valid until the next call to the SAME accessor with a
+//     different shape/size (growth or reshape reallocates) or to
 //     `reset()`.
 //   * The flux arrays and the tracer-update set are reshaped only when the
 //     requested shape differs from the cached one; with the steady
 //     per-rank shapes of a model run that means allocation happens on the
 //     first step only.
 //   * At most ONE `column_buffer()` borrow may be live at a time per
-//     thread (single-borrow rule, as FftWorkspace::complex_buffer). The
+//     rank (single-borrow rule, as FftWorkspace::complex_buffer). The
 //     column engine takes one borrow per column and carves its emissivity
 //     table and tridiagonal bands out of it.
 #pragma once
@@ -28,12 +32,14 @@
 #include <vector>
 
 #include "grid/array3d.hpp"
+#include "util/exec_local.hpp"
 
 namespace agcm::kernels {
 
 class KernelWorkspace {
  public:
-  /// The calling thread's (= the virtual rank's) workspace.
+  /// The executing virtual rank's workspace (via the installed ExecSlot),
+  /// or a thread_local fallback for callers outside any SPMD run.
   static KernelWorkspace& local();
 
   KernelWorkspace(const KernelWorkspace&) = delete;
@@ -60,6 +66,7 @@ class KernelWorkspace {
   void reset();
 
  private:
+  friend class agcm::util::ExecSlot;  // slot-local construction in local()
   KernelWorkspace() = default;
 
   static void reshape(grid::Array3D<double>& a, int ni, int nj, int nk,

@@ -3,10 +3,28 @@
 #include <algorithm>
 #include <chrono>
 
+#include "simnet/fiber.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
 
 namespace agcm::simnet {
+
+namespace {
+
+/// Shared tail of the two deadlock paths: describe what *is* queued so a
+/// tag or source mismatch is obvious from the error alone.
+std::string describe_pending(const Mailbox& mailbox) {
+  const auto infos = mailbox.pending_channels();
+  if (infos.empty()) return "mailbox empty";
+  std::string desc = "pending channels:";
+  for (const ChannelInfo& info : infos) {
+    desc += strformat(" (src={} tag={} depth={})", info.src, info.tag,
+                      info.depth);
+  }
+  return desc;
+}
+
+}  // namespace
 
 Mailbox::Channel& Mailbox::channel(const Key& key) {
   std::lock_guard lock(table_mutex_);
@@ -19,18 +37,58 @@ Mailbox::Channel& Mailbox::channel(const Key& key) {
 
 void Mailbox::push(Packet packet) {
   Channel& ch = channel({packet.src, packet.tag});
+  Fiber* waiter = nullptr;
   {
     std::lock_guard lock(ch.mutex);
     ch.queue.push(std::move(packet));
+#if AGCM_SIMNET_HAS_FIBERS
+    // Scheduler-integrated wakeup: claim the parked receiving fiber (if
+    // any) while holding the channel lock, unpark it after releasing — the
+    // scheduler takes its own lock and must never nest inside a channel's.
+    waiter = ch.waiter;
+    ch.waiter = nullptr;
+#endif
   }
-  // Targeted wakeup: at most one thread ever waits on a (src, tag) channel
-  // (the destination rank's receive), so notify_one is exact — no thundering
-  // herd across the rank's other outstanding receives.
+#if AGCM_SIMNET_HAS_FIBERS
+  if (waiter != nullptr) {
+    waiter->unpark();
+    return;
+  }
+#else
+  (void)waiter;
+#endif
+  // Targeted wakeup for thread-backend receivers: at most one thread ever
+  // waits on a (src, tag) channel (the destination rank's receive), so
+  // notify_one is exact — no thundering herd across the rank's other
+  // outstanding receives.
   ch.cv.notify_one();
 }
 
 Packet Mailbox::pop(int src, std::int64_t tag, int timeout_ms) {
   Channel& ch = channel({src, tag});
+#if AGCM_SIMNET_HAS_FIBERS
+  if (Fiber* self = current_fiber()) {
+    // Fiber path: park instead of blocking the worker thread. Loop because
+    // a wake can also come from the scheduler's deadlock sweep.
+    for (;;) {
+      {
+        std::unique_lock lock(ch.mutex);
+        if (!ch.queue.empty()) return ch.queue.pop();
+        if (self->run_deadlocked()) break;
+        // Publish ourselves as the channel's waiter *after* flagging the
+        // parking state, both under the channel lock, so the sender that
+        // sees the waiter is guaranteed a well-formed unpark target.
+        self->prepare_park();
+        ch.waiter = self;
+      }
+      self->park();
+    }
+    throw CommError(strformat(
+        "recv deadlock: every live rank is blocked while waiting for "
+        "message src={} tag={} (likely deadlock or tag mismatch); {}",
+        src, tag, describe_pending(*this)));
+  }
+#endif
   std::unique_lock lock(ch.mutex);
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
@@ -38,23 +96,10 @@ Packet Mailbox::pop(int src, std::int64_t tag, int timeout_ms) {
       ch.cv.wait_until(lock, deadline, [&] { return !ch.queue.empty(); });
   if (!ok) {
     lock.unlock();
-    // Enriched deadlock diagnostics: show what *is* queued so a tag or
-    // source mismatch is obvious from the error alone.
-    std::string pending_desc;
-    const auto infos = pending_channels();
-    if (infos.empty()) {
-      pending_desc = "mailbox empty";
-    } else {
-      pending_desc = "pending channels:";
-      for (const ChannelInfo& info : infos) {
-        pending_desc += strformat(" (src={} tag={} depth={})", info.src,
-                                  info.tag, info.depth);
-      }
-    }
     throw CommError(strformat(
         "recv timeout after {} ms waiting for message src={} tag={} "
         "(likely deadlock or tag mismatch); {}",
-        timeout_ms, src, tag, pending_desc));
+        timeout_ms, src, tag, describe_pending(*this)));
   }
   return ch.queue.pop();
 }

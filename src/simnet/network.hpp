@@ -7,12 +7,19 @@
 // carries the sender's virtual departure time so the receiver can compute
 // its virtual arrival.
 //
-// The mailbox is sharded: every channel owns its queue, mutex and condition
-// variable, so a push wakes exactly the receiver parked on that channel
-// (notify_one) instead of broadcasting to every blocked receiver of the
-// rank, and queue operations never scan or lock unrelated channels. The
-// channel table itself is an unordered_map guarded by a separate mutex that
-// is only held for the O(1) lookup/insert.
+// The mailbox is sharded: every channel owns its queue, mutex and wakeup
+// slot, so a push wakes exactly the receiver parked on that channel instead
+// of broadcasting to every blocked receiver of the rank, and queue
+// operations never scan or lock unrelated channels. The channel table
+// itself is an unordered_map guarded by a separate mutex that is only held
+// for the O(1) lookup/insert.
+//
+// The wakeup slot is scheduler-integrated: under the fiber backend the
+// blocked receive publishes its Fiber* as the channel's waiter and parks
+// (a user-space context switch), and the sender unparks exactly that fiber;
+// under the thread backend the same slot role is played by the channel's
+// condition variable (notify_one). At most one receiver ever waits on a
+// (src, tag) channel — the destination rank — so both wakeups are exact.
 #pragma once
 
 #include <atomic>
@@ -29,6 +36,8 @@
 #include "simnet/buffer_pool.hpp"
 
 namespace agcm::simnet {
+
+class Fiber;
 
 /// One in-flight message.
 struct Packet {
@@ -89,9 +98,12 @@ class Mailbox {
   void push(Packet packet);
 
   /// Blocks until a packet from (src, tag) is available; FIFO per channel.
-  /// Throws CommError after `timeout_ms` of real time (deadlock detection);
-  /// the error message lists every channel with queued packets so a tag
-  /// mismatch or ordering deadlock is visible at a glance.
+  /// Throws CommError on deadlock, with a message listing every channel
+  /// that has queued packets so a tag mismatch or ordering deadlock is
+  /// visible at a glance. On a fiber the call parks the calling fiber and
+  /// deadlock is detected by scheduler quiescence (immediately); on a plain
+  /// thread it waits on the channel's condition variable and deadlock is a
+  /// `timeout_ms` real-time timeout.
   Packet pop(int src, std::int64_t tag, int timeout_ms);
 
   /// Number of queued packets across all channels (diagnostics).
@@ -119,10 +131,15 @@ class Mailbox {
     }
   };
 
-  /// One FIFO channel shard: own lock, own queue, own wakeup.
+  /// One FIFO channel shard: own lock, own queue, own wakeup. `waiter` is
+  /// the fiber-backend wakeup slot (guarded by `mutex`): the parked
+  /// receiver, published just before it switches out, cleared by the sender
+  /// that wakes it. The condition variable serves the same role for
+  /// thread-backend receivers.
   struct Channel {
     std::mutex mutex;
     std::condition_variable cv;
+    Fiber* waiter = nullptr;
     PacketRing queue;
   };
 

@@ -1,11 +1,16 @@
 // Tests for the virtual multicomputer: clock arithmetic, transport
-// semantics, determinism, and failure injection.
+// semantics, determinism, failure injection, and the fiber scheduler's
+// park/unpark machinery under heavy oversubscription.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstring>
 
+#include "simnet/fiber.hpp"
 #include "simnet/machine.hpp"
 #include "util/error.hpp"
+#include "util/exec_local.hpp"
 
 namespace agcm::simnet {
 namespace {
@@ -381,6 +386,223 @@ TEST(Machine, MemoryTrafficUsesBandwidth) {
     ctx.clock().memory_traffic(50.0);
   });
   EXPECT_DOUBLE_EQ(result.finish_times[0], 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Fiber-scheduler torture tests. These force the M:N machinery through its
+// worst cases: far more fibers than workers, parks nested inside hand-rolled
+// collectives, channel FIFO under migration, and bit-equality of virtual
+// times against the thread-per-rank reference backend.
+// ---------------------------------------------------------------------------
+
+/// Hand-rolled barrier on p2p messages (gather-to-0 + broadcast), so the
+/// test exercises recv parks nested inside a collective without depending
+/// on the comm layer.
+void p2p_barrier(RankContext& ctx, std::int64_t tag) {
+  const std::byte token{1};
+  if (ctx.rank() == 0) {
+    for (int r = 1; r < ctx.nranks(); ++r) (void)ctx.recv_bytes(r, tag);
+    for (int r = 1; r < ctx.nranks(); ++r) ctx.send_bytes(r, tag, {&token, 1});
+  } else {
+    ctx.send_bytes(0, tag, {&token, 1});
+    (void)ctx.recv_bytes(0, tag);
+  }
+}
+
+TEST(FiberScheduler, ManyMoreFibersThanWorkers) {
+  // 192 rank fibers on 2 workers: every message round parks ~all fibers,
+  // so the run queue, the park/unpark handshake and fiber migration across
+  // the two workers all churn constantly.
+  Machine machine(MachineProfile::ideal());
+  machine.set_backend(SimBackend::kFibers);
+  machine.set_workers(2);
+  const int nranks = 192;
+  const int rounds = 5;
+  std::vector<int> visits(static_cast<std::size_t>(nranks), 0);
+  const auto result = machine.run(nranks, [&](RankContext& ctx) {
+    const int next = (ctx.rank() + 1) % ctx.nranks();
+    const int prev = (ctx.rank() + ctx.nranks() - 1) % ctx.nranks();
+    std::vector<double> data{static_cast<double>(ctx.rank())};
+    for (int round = 0; round < rounds; ++round) {
+      ctx.send_bytes(next, round, as_bytes(data));
+      const Buffer got = ctx.recv_bytes(prev, round);
+      double value = 0.0;
+      std::memcpy(&value, got.data(), sizeof(value));
+      EXPECT_DOUBLE_EQ(value, static_cast<double>(prev));
+    }
+    ++visits[static_cast<std::size_t>(ctx.rank())];
+  });
+  for (int v : visits) EXPECT_EQ(v, 1);
+  EXPECT_EQ(result.total_messages,
+            static_cast<std::uint64_t>(nranks) * rounds);
+}
+
+TEST(FiberScheduler, RecvNestedInsideBarrierPhases) {
+  // Data messages cross barrier phases: sent before a barrier, received
+  // after it — so data recvs park while peers are already parked inside the
+  // barrier's own recvs, and the channel must buffer across both.
+  Machine machine(MachineProfile::ideal());
+  machine.set_backend(SimBackend::kFibers);
+  machine.set_workers(3);
+  const int nranks = 64;
+  machine.run(nranks, [&](RankContext& ctx) {
+    const int partner = ctx.rank() ^ 1;  // pair (even, odd)
+    const std::int64_t kData = 1000;
+    std::vector<double> payload{ctx.rank() * 1.25};
+    if (ctx.rank() % 2 == 1) ctx.send_bytes(partner, kData, as_bytes(payload));
+    p2p_barrier(ctx, /*tag=*/1);
+    if (ctx.rank() % 2 == 0) {
+      const Buffer got = ctx.recv_bytes(partner, kData);
+      double value = 0.0;
+      std::memcpy(&value, got.data(), sizeof(value));
+      EXPECT_DOUBLE_EQ(value, partner * 1.25);
+      ctx.send_bytes(partner, kData + 1, as_bytes(payload));
+    }
+    p2p_barrier(ctx, /*tag=*/2);
+    if (ctx.rank() % 2 == 1) {
+      const Buffer got = ctx.recv_bytes(partner, kData + 1);
+      double value = 0.0;
+      std::memcpy(&value, got.data(), sizeof(value));
+      EXPECT_DOUBLE_EQ(value, partner * 1.25);
+    }
+  });
+}
+
+TEST(FiberScheduler, FifoPreservedPerChannelUnderOversubscription) {
+  // One sender floods two tags toward each receiver while the scheduler
+  // bounces the receiving fibers between workers; per-(src, tag) order must
+  // still be exactly the send order.
+  Machine machine(MachineProfile::ideal());
+  machine.set_backend(SimBackend::kFibers);
+  machine.set_workers(2);
+  const int nranks = 48;  // rank 0 sends, everyone else receives
+  const int messages = 32;
+  machine.run(nranks, [&](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < messages; ++i) {
+        for (int dst = 1; dst < ctx.nranks(); ++dst) {
+          std::vector<double> a{static_cast<double>(i)};
+          std::vector<double> b{static_cast<double>(1000 + i)};
+          ctx.send_bytes(dst, 7, as_bytes(a));
+          ctx.send_bytes(dst, 9, as_bytes(b));
+        }
+      }
+    } else {
+      for (int i = 0; i < messages; ++i) {
+        const Buffer a = ctx.recv_bytes(0, 7);
+        const Buffer b = ctx.recv_bytes(0, 9);
+        double va = 0.0;
+        double vb = 0.0;
+        std::memcpy(&va, a.data(), sizeof(va));
+        std::memcpy(&vb, b.data(), sizeof(vb));
+        EXPECT_DOUBLE_EQ(va, static_cast<double>(i));
+        EXPECT_DOUBLE_EQ(vb, static_cast<double>(1000 + i));
+      }
+    }
+  });
+}
+
+TEST(FiberScheduler, EachRankGetsItsOwnExecSlot) {
+  // The per-rank local-storage handle must be distinct per fiber and stable
+  // across parks — it is what keeps fft/kernel workspaces rank-private when
+  // fibers migrate between workers.
+  Machine machine(MachineProfile::ideal());
+  machine.set_backend(SimBackend::kFibers);
+  machine.set_workers(2);
+  const int nranks = 32;
+  std::vector<util::ExecSlot*> slots(static_cast<std::size_t>(nranks),
+                                     nullptr);
+  machine.run(nranks, [&](RankContext& ctx) {
+    util::ExecSlot* before = util::ExecSlot::current();
+    ASSERT_NE(before, nullptr);
+    p2p_barrier(ctx, /*tag=*/5);  // park at least once
+    EXPECT_EQ(util::ExecSlot::current(), before);
+    slots[static_cast<std::size_t>(ctx.rank())] = before;
+  });
+  std::sort(slots.begin(), slots.end());
+  EXPECT_EQ(std::unique(slots.begin(), slots.end()), slots.end());
+  EXPECT_EQ(std::count(slots.begin(), slots.end(), nullptr), 0);
+}
+
+TEST(FiberScheduler, VirtualTimesBitIdenticalToThreadBackend) {
+  // The determinism gate: seeded pseudo-random compute + permutation
+  // exchanges, run under both backends; every per-rank virtual finish time
+  // and breakdown component must be bit-identical (EXPECT_DOUBLE_EQ is an
+  // exact comparison).
+  for (const std::uint64_t seed : {1ULL, 7ULL, 20260808ULL}) {
+    const int nranks = 24;
+    auto program = [seed, nranks](RankContext& ctx) {
+      std::uint64_t offs = seed;  // rank-independent offset stream
+      std::uint64_t mine = seed * 1000003ULL +
+                           static_cast<std::uint64_t>(ctx.rank());
+      const auto next = [](std::uint64_t& s) {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        return s >> 33;
+      };
+      for (int round = 0; round < 8; ++round) {
+        ctx.clock().compute(static_cast<double>(next(mine) % 10000) + 1.0);
+        const int off = 1 + static_cast<int>(next(offs) %
+                                             static_cast<std::uint64_t>(
+                                                 nranks - 1));
+        const int dst = (ctx.rank() + off) % nranks;
+        const int src = (ctx.rank() + nranks - off) % nranks;
+        std::vector<double> data(1 + next(mine) % 64,
+                                 static_cast<double>(ctx.rank()));
+        ctx.send_bytes(dst, round, as_bytes(data));
+        (void)ctx.recv_bytes(src, round);
+      }
+    };
+    Machine fibers(MachineProfile::intel_paragon());
+    fibers.set_backend(SimBackend::kFibers);
+    fibers.set_workers(2);
+    Machine threads(MachineProfile::intel_paragon());
+    threads.set_backend(SimBackend::kThreads);
+    const auto rf = fibers.run(nranks, program);
+    const auto rt = threads.run(nranks, program);
+    ASSERT_EQ(rf.finish_times.size(), rt.finish_times.size());
+    for (std::size_t r = 0; r < rf.finish_times.size(); ++r) {
+      EXPECT_DOUBLE_EQ(rf.finish_times[r], rt.finish_times[r]) << "rank " << r;
+      EXPECT_DOUBLE_EQ(rf.breakdowns[r].compute, rt.breakdowns[r].compute);
+      EXPECT_DOUBLE_EQ(rf.breakdowns[r].overhead, rt.breakdowns[r].overhead);
+      EXPECT_DOUBLE_EQ(rf.breakdowns[r].wait, rt.breakdowns[r].wait);
+    }
+    EXPECT_EQ(rf.total_messages, rt.total_messages);
+    EXPECT_EQ(rf.total_bytes, rt.total_bytes);
+  }
+}
+
+TEST(FiberScheduler, DeadlockDetectedWithoutWallClockWait) {
+  // Quiescence detection: a recv that can never be satisfied must throw as
+  // soon as all live fibers are parked — the 100 ms budget below is only
+  // for the thread-backend fallback on platforms without fibers.
+  Machine machine(MachineProfile::ideal());
+  machine.set_backend(SimBackend::kFibers);
+  machine.set_recv_timeout_ms(100);
+  try {
+    machine.run(3, [](RankContext& ctx) {
+      if (ctx.rank() == 0) (void)ctx.recv_bytes(1, 9);  // never sent
+    });
+    FAIL() << "deadlocked run should throw";
+  } catch (const CommError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("deadlock"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("src=1 tag=9"), std::string::npos) << msg;
+  }
+}
+
+TEST(FiberScheduler, ThreadBackendStillSelectable) {
+  // The fallback backend stays first-class: explicit selection must run the
+  // same program with the same results.
+  Machine machine(MachineProfile::ideal());
+  machine.set_backend(SimBackend::kThreads);
+  const auto result = machine.run(4, [](RankContext& ctx) {
+    const int next = (ctx.rank() + 1) % ctx.nranks();
+    const int prev = (ctx.rank() + ctx.nranks() - 1) % ctx.nranks();
+    std::vector<double> data{1.0};
+    ctx.send_bytes(next, 1, as_bytes(data));
+    (void)ctx.recv_bytes(prev, 1);
+  });
+  EXPECT_EQ(result.total_messages, 4u);
 }
 
 }  // namespace

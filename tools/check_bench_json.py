@@ -70,6 +70,16 @@ REQUIRED_FIELDS = {
         "lb_gain_tall_mesh": float,
         "lb_gain_grows_with_rows": bool,
     },
+    "simnet_sched": {
+        "p64_threads_ms": float,
+        "p64_fibers_ms": float,
+        "p64_speedup": float,
+        "gate_speedup_min": float,
+        "virtual_times_match": bool,
+        "p1024_wall_ms": float,
+        "p1024_completed": bool,
+        "gates_passed": bool,
+    },
     "scaling_model": {
         "perf_model_path": str,
         "fit_conv_exponent_a": float,
@@ -112,6 +122,12 @@ def check_required_fields(path: str, doc: dict) -> str:
             f", mode={doc['mode']}, bitwise="
             f"{doc['advection_bitwise_identical'] and doc['physics_bitwise_identical']}"
             f", gates_passed={doc['gates_passed']}"
+        )
+    if doc["bench"] == "simnet_sched":
+        return (
+            f", P=64 fibers {doc['p64_speedup']:.2f}x threads, virtual "
+            f"times match={doc['virtual_times_match']}, gates_passed="
+            f"{doc['gates_passed']}"
         )
     if doc["bench"] == "scaling_model":
         return (

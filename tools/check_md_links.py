@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Check in-repo relative links in markdown files.
+
+Walks every tracked *.md file (or the paths given on the command line),
+extracts inline markdown links and images, and verifies that each
+relative target resolves to an existing file or directory. External
+schemes (http/https/mailto) and pure in-page anchors (#...) are skipped;
+a #fragment on a relative link is stripped before the existence check.
+Standard library only, so CI can run it anywhere.
+
+Usage:
+    tools/check_md_links.py            # all *.md under the repo root
+    tools/check_md_links.py README.md docs/*.md
+
+Exit status is nonzero if any link target is missing.
+"""
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+# Inline links/images: [text](target) / ![alt](target). Titles after the
+# target ("... path "title")") are separated by whitespace, so the regex
+# stops the target at the first whitespace or closing parenthesis.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", "build", "build-san", "build-tsan", ".cache"}
+
+
+def md_files(root: str) -> list[str]:
+    out = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames if d not in SKIP_DIRS and not d.startswith(".")
+        )
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                out.append(os.path.join(dirpath, name))
+    return out
+
+
+def check_file(path: str) -> list[str]:
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        # Links inside fenced code blocks are examples, not references.
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target.split("#", 1)[0])
+            )
+            if not os.path.exists(resolved):
+                errors.append(
+                    f"{path}:{lineno}: broken link '{target}' "
+                    f"(resolved to {resolved})"
+                )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    paths = argv[1:] or md_files(".")
+    if not paths:
+        print("check_md_links: no markdown files found", file=sys.stderr)
+        return 2
+    errors = []
+    checked = 0
+    for path in paths:
+        errors.extend(check_file(path))
+        checked += 1
+    for err in errors:
+        print(f"FAIL {err}", file=sys.stderr)
+    print(f"check_md_links: {checked} file(s) checked, {len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
