@@ -29,6 +29,7 @@
 
 #include "core/config_load.hpp"
 #include "core/model.hpp"
+#include "kernels/simd/dispatch.hpp"
 #include "trace/export.hpp"
 #include "trace/json.hpp"
 #include "trace/metrics.hpp"
@@ -137,6 +138,27 @@ struct BenchOptions {
   }
 };
 
+/// Host CPU features and the resolved SIMD dispatch decision, as a JSON
+/// object for the `simd_dispatch` metadata block every bench report
+/// carries. Host-dependent by nature — tools/perf_diff.py ignores it.
+inline trace::JsonValue simd_dispatch_json() {
+  const simd::DispatchInfo info = simd::info();
+  trace::JsonValue out = trace::JsonValue::object();
+  out.set("active_tier", std::string(simd::tier_name(info.active)));
+  out.set("detected_tier", std::string(simd::tier_name(info.detected)));
+  out.set("env_override", info.env_override);
+  if (info.env_override) out.set("env_value", info.env_value);
+  out.set("built_avx2", info.built_avx2);
+  out.set("built_avx512", info.built_avx512);
+  trace::JsonValue feats = trace::JsonValue::array();
+  for (const std::string& f : info.cpu_features) feats.push_back(f);
+  out.set("cpu_features", std::move(feats));
+  trace::JsonValue demoted = trace::JsonValue::array();
+  for (const std::string& f : info.demoted_families) demoted.push_back(f);
+  out.set("demoted_families", std::move(demoted));
+  return out;
+}
+
 /// Structured mirror of a bench's stdout: the tables it printed, optional
 /// extra fields, and (when tracing) the per-phase aggregate + metrics.
 class JsonReport {
@@ -146,6 +168,7 @@ class JsonReport {
     root_.set("bench", opts_.bench_name);
     root_.set("schema", "agcm-bench-v1");
     if (!opts_.config_path.empty()) root_.set("config", opts_.config_path);
+    root_.set("simd_dispatch", simd_dispatch_json());
     tables_ = trace::JsonValue::array();
   }
 

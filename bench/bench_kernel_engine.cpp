@@ -36,6 +36,7 @@
 
 #include "bench_common.hpp"
 #include "dynamics/advection.hpp"
+#include "kernels/simd/dispatch.hpp"
 #include "dynamics/advection_seed_ref.hpp"
 #include "dynamics/state.hpp"
 #include "kernels/stencil_kernels.hpp"
@@ -254,24 +255,45 @@ int main(int argc, char** argv) {
   const int sten_trials = g_check_only ? 1 : 7;
 
   const PathResult adv_seed = run_advection(false, adv_reps, adv_trials);
-  const PathResult adv_eng = run_advection(true, adv_reps, adv_trials);
   const ColumnField columns;
   const PathResult phys_seed =
       run_physics(false, columns, phys_steps, phys_trials);
-  const PathResult phys_eng =
-      run_physics(true, columns, phys_steps, phys_trials);
   const PathResult sep_seed = run_stencil(false, false, sten_reps, sten_trials);
-  const PathResult sep_eng = run_stencil(true, false, sten_reps, sten_trials);
   const PathResult blk_seed = run_stencil(false, true, sten_reps, sten_trials);
-  const PathResult blk_eng = run_stencil(true, true, sten_reps, sten_trials);
 
-  const bool adv_bits = bitwise_equal(adv_seed.fields, adv_eng.fields);
-  const bool phys_bits = bitwise_equal(phys_seed.fields, phys_eng.fields);
-  const bool sep_bits = bitwise_equal(sep_seed.fields, sep_eng.fields);
-  const bool blk_bits = bitwise_equal(blk_seed.fields, blk_eng.fields);
+  // Check-only mode runs the engine paths once per supported SIMD dispatch
+  // tier (scalar always), so the bitwise verdicts — and CI's determinism
+  // fence — cover every tier the host can execute. Full mode times the
+  // resolved tier only.
+  std::vector<agcm::simd::Tier> tiers;
+  if (g_check_only) {
+    tiers.push_back(agcm::simd::Tier::kScalar);
+    for (agcm::simd::Tier t :
+         {agcm::simd::Tier::kAvx2, agcm::simd::Tier::kAvx512}) {
+      if (agcm::simd::tier_supported(t)) tiers.push_back(t);
+    }
+  } else {
+    tiers.push_back(agcm::simd::active_tier());
+  }
+
+  bool adv_bits = true, phys_bits = true, sep_bits = true, blk_bits = true;
+  PathResult adv_eng, phys_eng, sep_eng, blk_eng;
+  for (agcm::simd::Tier tier : tiers) {
+    agcm::simd::force_tier(tier);
+    adv_eng = run_advection(true, adv_reps, adv_trials);
+    phys_eng = run_physics(true, columns, phys_steps, phys_trials);
+    sep_eng = run_stencil(true, false, sten_reps, sten_trials);
+    blk_eng = run_stencil(true, true, sten_reps, sten_trials);
+    adv_bits = adv_bits && bitwise_equal(adv_seed.fields, adv_eng.fields);
+    phys_bits = phys_bits && bitwise_equal(phys_seed.fields, phys_eng.fields);
+    sep_bits = sep_bits && bitwise_equal(sep_seed.fields, sep_eng.fields);
+    blk_bits = blk_bits && bitwise_equal(blk_seed.fields, blk_eng.fields);
+  }
+  agcm::simd::reset_tier();
   const bool all_bits = adv_bits && phys_bits && sep_bits && blk_bits;
 
   report.set("mode", g_check_only ? "check-only" : "full");
+  report.set("simd_tiers_checked", static_cast<double>(tiers.size()));
   report.set("advection_bitwise_identical", adv_bits);
   report.set("physics_bitwise_identical", phys_bits);
   report.set("stencil_separate_bitwise_identical", sep_bits);

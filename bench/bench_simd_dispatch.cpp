@@ -1,0 +1,609 @@
+// SIMD dispatch backend: per-tier host speed and cross-tier correctness
+// (docs/kernels.md, "Runtime SIMD dispatch").
+//
+// For every tier the host can run (scalar always; AVX2/AVX-512 when built
+// and supported), this bench forces the dispatch table to that tier and
+// measures the five kernel families against the forced-scalar engine —
+// the PR 4 baseline the intrinsics are supposed to beat:
+//
+//  * advection — gated on the row-sweep composite (flux_row +
+//    advect_update_row over an L2-resident tile, 64-byte-aligned rows like
+//    production Array3D storage): that is the dispatched kernel code
+//    itself. The full advect_tracers_optimized engine (paper grid
+//    144x90x9, four tracers) is also timed, informationally — at full-grid
+//    working sets it is bandwidth-bound and the ISA matters less;
+//  * pointwise — the Section 3.4 operator at an L1-resident shape with
+//    aligned buffers (n=1152, m=144; larger shapes are bandwidth-bound and
+//    would measure the memory bus, not the ISA — see docs/kernels.md);
+//  * stencil   — the separate-fields Laplace engine (informational);
+//  * miniblas  — daxpy (bitwise) and ddot (reduction, ulp-bounded);
+//  * longwave + FFT — the opt-in reduction-family entry points
+//    (longwave_sweep_simd, FftPlan::forward_simd at n=1024 and n=144),
+//    ulp-bounded vs their scalar twins, plus a forced-scalar bitwise
+//    identity check (tier scalar must be the scalar code exactly).
+//
+// Every trial restarts from a fresh copy of the same initial state
+// (best-of-N min time, the bench_kernel_engine convention).
+//
+// Acceptance gates (exit 1 on failure, recorded in the BENCH JSON):
+//   * contracted families (advection, pointwise, stencil, daxpy) BITWISE
+//     identical to their scalar references on every checked tier;
+//   * reduction families within kMaxUlp of scalar, and bitwise under a
+//     forced-scalar tier;
+//   * when the active tier is a SIMD tier: advection and pointwise at the
+//     active tier >= 1.5x the forced-scalar engine. Skipped (with a note)
+//     when the resolved tier is scalar — e.g. the AGCM_SIMD=scalar CI leg.
+//
+// `--check-only` skips all timing and emits only deterministic fields so
+// CI's determinism fence can byte-compare two runs on the same host.
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dynamics/advection.hpp"
+#include "dynamics/advection_seed_ref.hpp"
+#include "dynamics/state.hpp"
+#include "fft/fft.hpp"
+#include "kernels/column_kernels.hpp"
+#include "kernels/simd/dispatch.hpp"
+#include "kernels/stencil_kernels.hpp"
+#include "singlenode/miniblas.hpp"
+#include "singlenode/pointwise.hpp"
+#include "singlenode/stencil.hpp"
+#include "util/aligned.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using agcm::Table;
+using agcm::bench::Stopwatch;
+using agcm::grid::Array3D;
+namespace simd = agcm::simd;
+
+/// 64-byte-aligned storage, the production Array3D layout — unaligned
+/// 256/512-bit accesses split across cache lines cost the SIMD tiers most
+/// of their ALU advantage on store-bound kernels.
+template <class T>
+using AlignedVec = std::vector<T, agcm::util::AlignedAllocator<T, 64>>;
+
+bool g_check_only = false;
+
+bool bitwise_equal(std::span<const double> a, std::span<const double> b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+/// ULP distance between two doubles (monotone bit-pattern trick); NaN or
+/// infinity anywhere maps to a huge distance so gates fail loudly.
+double ulp_diff(double a, double b) {
+  if (!std::isfinite(a) || !std::isfinite(b)) return 1e30;
+  auto ordered = [](double x) {
+    std::uint64_t u;
+    std::memcpy(&u, &x, sizeof(u));
+    return (u & 0x8000000000000000ull) ? ~u : (u | 0x8000000000000000ull);
+  };
+  const std::uint64_t ua = ordered(a), ub = ordered(b);
+  return static_cast<double>(ua > ub ? ua - ub : ub - ua);
+}
+
+double max_ulp(std::span<const double> a, std::span<const double> b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, ulp_diff(a[i], b[i]));
+  return worst;
+}
+
+/// Deterministic dyadic test data (the dispatch self-check's LCG), so every
+/// run — and every tier — sees identical input bits.
+void fill_det(std::span<double> v, unsigned seed, double base) {
+  unsigned s = seed;
+  for (double& x : v) {
+    s = s * 1664525u + 1013904223u;
+    x = base + (static_cast<double>(s >> 8) * 0x1p-24 - 0.5) * 0.125;
+  }
+}
+
+/// Forces `tier` for the duration of a scope.
+class ForcedTier {
+ public:
+  explicit ForcedTier(simd::Tier tier) { simd::force_tier(tier); }
+  ~ForcedTier() { simd::reset_tier(); }
+  ForcedTier(const ForcedTier&) = delete;
+  ForcedTier& operator=(const ForcedTier&) = delete;
+};
+
+struct PathResult {
+  double seconds = 0.0;        ///< best timed block (0 in check-only)
+  std::vector<double> fields;  ///< final bytes, for bit/ulp compare
+};
+
+// --- advection (production engine, forced tier) -----------------------------
+
+PathResult run_advection(simd::Tier tier, bool seed_ref, int reps,
+                         int trials) {
+  using namespace agcm::dynamics;
+  const agcm::grid::LatLonGrid grid = agcm::grid::LatLonGrid::paper_9layer();
+  const agcm::grid::LocalBox box{0, grid.nlon(), 0, grid.nlat()};
+  const Metrics metrics = Metrics::build(grid, box);
+
+  State init(box, grid.nlev());
+  initialize_state(init, grid, box, 1996);
+  const Array3D<double> h_new = init.h;
+
+  const ForcedTier forced(tier);
+  PathResult out;
+  State state;
+  Array3D<double> t3, t4;
+  for (int t = 0; t < trials; ++t) {
+    state = init;  // identical work every trial
+    t3 = init.theta;  // four tracers: the fused update pass dominates,
+    t4 = init.q;      // as it does under a production tracer load
+    Array3D<double>* tracers[] = {&state.theta, &state.q, &t3, &t4};
+    const Stopwatch sw;
+    for (int r = 0; r < reps; ++r) {
+      if (seed_ref) {
+        advect_tracers_optimized_seed_ref(grid, box, metrics, state.h, h_new,
+                                          state.u, state.v, tracers, 450.0);
+      } else {
+        advect_tracers_optimized(grid, box, metrics, state.h, h_new, state.u,
+                                 state.v, tracers, 450.0);
+      }
+    }
+    const double sec = sw.seconds();
+    if (t == 0 || sec < out.seconds) out.seconds = sec;
+  }
+  for (const Array3D<double>* f : {&state.theta, &state.q, &t3, &t4}) {
+    const auto raw = f->raw();
+    out.fields.insert(out.fields.end(), raw.begin(), raw.end());
+  }
+  return out;
+}
+
+// --- advection row sweep (the dispatched kernels themselves) ----------------
+
+/// The engine's inner sweep over an L2-resident tile: per row one y-flux,
+/// one x-flux (shifted-pointer form), then four tracer updates. Rows are
+/// 64-byte aligned (stride 160, interior at +8 doubles). This is the gate
+/// shape: same kernel code as production, small enough that the ISA — not
+/// the memory bus — is what's measured.
+PathResult run_advect_rows(simd::Tier tier, int reps, int trials) {
+  constexpr int kNi = 144, kNj = 16, kGhost = 2;
+  constexpr int kStride = 160;   // kNi + 16: keeps row starts aligned
+  constexpr int kInterior = 8;   // left pad (>= ghost), 64-byte multiple
+  constexpr int kTracers = 4;
+  const std::size_t field = static_cast<std::size_t>(kStride) *
+                            (kNj + 2 * kGhost + 1);
+  const std::size_t base =
+      static_cast<std::size_t>(kGhost) * kStride + kInterior;
+  auto row = [&](AlignedVec<double>& f, int j) {
+    return f.data() + base + static_cast<std::size_t>(j) * kStride;
+  };
+  AlignedVec<double> h(field), hn(field), u(field), v(field), fx(field),
+      fy(field);
+  std::vector<AlignedVec<double>> c(kTracers, AlignedVec<double>(field));
+  std::vector<AlignedVec<double>> up(kTracers, AlignedVec<double>(field));
+  fill_det(h, 131u, 1.0);
+  fill_det(hn, 137u, 1.0);
+  fill_det(u, 139u, 0.0);
+  fill_det(v, 149u, 0.0);
+  for (int t = 0; t < kTracers; ++t)
+    fill_det(c[static_cast<std::size_t>(t)], 151u + static_cast<unsigned>(t),
+             1.0);
+
+  const ForcedTier forced(tier);
+  const simd::KernelOps& ops = simd::ops();
+  PathResult out;
+  for (int t = 0; t < trials; ++t) {
+    const Stopwatch sw;
+    for (int r = 0; r < reps; ++r) {
+      for (int j = -1; j < kNj; ++j)
+        ops.flux_row(kNi, 0.5, row(v, j), row(h, j), row(h, j + 1),
+                     row(fy, j));
+      for (int j = 0; j < kNj; ++j)
+        ops.flux_row(kNi + 1, 0.75, row(u, j) - 1, row(h, j) - 1, row(h, j),
+                     row(fx, j) - 1);
+      for (int tr = 0; tr < kTracers; ++tr) {
+        const auto utr = static_cast<std::size_t>(tr);
+        for (int j = 0; j < kNj; ++j)
+          ops.advect_update_row(kNi, 0.01, row(fx, j), row(fy, j),
+                                row(fy, j - 1), row(c[utr], j),
+                                row(c[utr], j - 1), row(c[utr], j + 1),
+                                row(h, j), row(hn, j), row(up[utr], j));
+      }
+    }
+    const double sec = sw.seconds();
+    if (t == 0 || sec < out.seconds) out.seconds = sec;
+  }
+  for (const AlignedVec<double>& f : up)
+    out.fields.insert(out.fields.end(), f.begin(), f.end());
+  return out;
+}
+
+// --- pointwise (Section 3.4 operator, L1-resident aligned shape) ------------
+
+PathResult run_pointwise(simd::Tier tier, bool dispatch, int reps,
+                         int trials) {
+  using namespace agcm::singlenode;
+  constexpr std::size_t kN = 1152, kM = 144;
+  AlignedVec<double> a(kN), b(kM), out_v(kN);
+  fill_det(a, 11u, 1.0);
+  fill_det(b, 23u, 2.0);
+
+  const ForcedTier forced(tier);
+  PathResult out;
+  for (int t = 0; t < trials; ++t) {
+    const Stopwatch sw;
+    for (int r = 0; r < reps; ++r) {
+      if (dispatch) {
+        pointwise_multiply_dispatch(a, b, out_v);
+      } else {
+        pointwise_multiply_unrolled(a, b, out_v);
+      }
+    }
+    const double sec = sw.seconds();
+    if (t == 0 || sec < out.seconds) out.seconds = sec;
+  }
+  out.fields.assign(out_v.begin(), out_v.end());
+  return out;
+}
+
+// --- stencil (separate-fields Laplace engine) -------------------------------
+
+PathResult run_stencil(simd::Tier tier, bool engine, int reps, int trials) {
+  using namespace agcm::singlenode;
+  SeparateFields sep(8, 32);  // the paper's 32^3 experiment, m=8
+  const ForcedTier forced(tier);
+  PathResult out;
+  std::vector<double> r;
+  for (int t = 0; t < trials; ++t) {
+    const Stopwatch sw;
+    for (int rep = 0; rep < reps; ++rep) {
+      if (engine) {
+        agcm::kernels::laplace_sum_separate_engine(sep, r);
+      } else {
+        laplace_sum_separate(sep, r);
+      }
+    }
+    const double sec = sw.seconds();
+    if (t == 0 || sec < out.seconds) out.seconds = sec;
+  }
+  out.fields = r;
+  return out;
+}
+
+// --- miniblas ---------------------------------------------------------------
+
+PathResult run_daxpy(simd::Tier tier, bool dispatch, int reps, int trials) {
+  using namespace agcm::singlenode;
+  constexpr std::size_t kN = 8192;
+  std::vector<double> x(kN), y0(kN), y(kN);
+  fill_det(x, 31u, 1.0);
+  fill_det(y0, 47u, 2.0);
+
+  const ForcedTier forced(tier);
+  PathResult out;
+  for (int t = 0; t < trials; ++t) {
+    y = y0;  // identical work every trial
+    const Stopwatch sw;
+    for (int r = 0; r < reps; ++r) {
+      if (dispatch) {
+        daxpy_dispatch(0x1.8p-10, x, y);
+      } else {
+        daxpy(0x1.8p-10, x, y);
+      }
+    }
+    const double sec = sw.seconds();
+    if (t == 0 || sec < out.seconds) out.seconds = sec;
+  }
+  out.fields = y;
+  return out;
+}
+
+PathResult run_ddot(simd::Tier tier, bool dispatch, int reps, int trials) {
+  using namespace agcm::singlenode;
+  constexpr std::size_t kN = 8192;
+  std::vector<double> x(kN), y(kN);
+  fill_det(x, 59u, 1.0);
+  fill_det(y, 71u, -1.0);
+
+  const ForcedTier forced(tier);
+  PathResult out;
+  double acc = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    acc = 0.0;
+    const Stopwatch sw;
+    for (int r = 0; r < reps; ++r) {
+      acc += dispatch ? ddot_dispatch(x, y) : ddot(x, y);
+    }
+    const double sec = sw.seconds();
+    if (t == 0 || sec < out.seconds) out.seconds = sec;
+  }
+  out.fields = {acc / reps};
+  return out;
+}
+
+// --- longwave (opt-in reduction family) -------------------------------------
+
+PathResult run_longwave(simd::Tier tier, bool dispatch, int nlev, int reps,
+                        int trials) {
+  using namespace agcm::kernels;
+  std::vector<double> emis(static_cast<std::size_t>(nlev));
+  fill_longwave_emissivity(emis.data(), nlev);
+  std::vector<double> theta0(static_cast<std::size_t>(nlev));
+  fill_det(theta0, 83u, 290.0);
+
+  const ForcedTier forced(tier);
+  PathResult out;
+  std::vector<double> theta;
+  for (int t = 0; t < trials; ++t) {
+    theta = theta0;  // identical work every trial
+    const Stopwatch sw;
+    for (int r = 0; r < reps; ++r) {
+      if (dispatch) {
+        longwave_sweep_simd(theta.data(), nlev, emis.data(), 450.0);
+      } else {
+        longwave_sweep(theta.data(), nlev, emis.data(), 450.0);
+      }
+    }
+    const double sec = sw.seconds();
+    if (t == 0 || sec < out.seconds) out.seconds = sec;
+  }
+  out.fields = theta;
+  return out;
+}
+
+// --- FFT (opt-in reduction family) ------------------------------------------
+
+PathResult run_fft(simd::Tier tier, bool dispatch, int n, int reps,
+                   int trials) {
+  using agcm::fft::Complex;
+  const agcm::fft::FftPlan plan(n);
+  std::vector<double> re(static_cast<std::size_t>(n)),
+      im(static_cast<std::size_t>(n));
+  fill_det(re, 97u, 0.0);
+  fill_det(im, 113u, 0.0);
+  std::vector<Complex> init(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    init[static_cast<std::size_t>(i)] = {re[static_cast<std::size_t>(i)],
+                                         im[static_cast<std::size_t>(i)]};
+
+  const ForcedTier forced(tier);
+  PathResult out;
+  std::vector<Complex> data;
+  for (int t = 0; t < trials; ++t) {
+    data = init;  // fresh input every trial (transform is in place)
+    const Stopwatch sw;
+    for (int r = 0; r < reps; ++r) {
+      if (dispatch) {
+        plan.forward_simd(data);
+        plan.inverse_simd(data);
+      } else {
+        plan.forward(data);
+        plan.inverse(data);
+      }
+    }
+    const double sec = sw.seconds();
+    if (t == 0 || sec < out.seconds) out.seconds = sec;
+  }
+  // One final forward so the compared bits are a spectrum, not a round trip.
+  plan.forward(data);
+  out.fields.reserve(2 * static_cast<std::size_t>(n));
+  for (const Complex& c : data) {
+    out.fields.push_back(c.real());
+    out.fields.push_back(c.imag());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip --check-only before the common parser sees it.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check-only") == 0) {
+      g_check_only = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  auto opts = agcm::bench::BenchOptions::parse(
+      static_cast<int>(args.size()), args.data(), "simd_dispatch");
+  agcm::bench::JsonReport report(opts);
+  agcm::bench::print_header(
+      g_check_only
+          ? "SIMD dispatch: cross-tier correctness (no timing)"
+          : "SIMD dispatch: per-tier host speed and correctness");
+
+  constexpr double kSpeedGate = 1.5;  // active tier vs forced-scalar engine
+  constexpr double kMaxUlp = 16.0;    // longwave/fft vs scalar
+  // ddot reassociates a length-8192 sum into lanes; the sequential-vs-lane
+  // difference scales with n*eps of the term magnitudes (thousands of ulp
+  // worst case), so its bound is orders looser than the per-point families.
+  constexpr double kMaxUlpDot = 512.0;
+
+  const simd::Tier active = simd::active_tier();
+  std::vector<simd::Tier> tiers{simd::Tier::kScalar};
+  for (simd::Tier t : {simd::Tier::kAvx2, simd::Tier::kAvx512})
+    if (simd::tier_supported(t)) tiers.push_back(t);
+
+  const int rows_reps = g_check_only ? 1 : 400;
+  const int adv_reps = g_check_only ? 1 : 6;
+  const int pw_reps = g_check_only ? 1 : 8000;
+  const int sten_reps = g_check_only ? 1 : 4;
+  const int blas_reps = g_check_only ? 1 : 4000;
+  const int lw_reps = g_check_only ? 1 : 8000;
+  const int fft_reps = g_check_only ? 1 : 1000;
+  const int trials = g_check_only ? 1 : 7;
+
+  // Scalar-tier references (and, for advection, the seed implementation).
+  const PathResult rows_scalar =
+      run_advect_rows(simd::Tier::kScalar, rows_reps, trials);
+  const PathResult adv_seed =
+      run_advection(simd::Tier::kScalar, true, adv_reps, trials);
+  const PathResult pw_scalar =
+      run_pointwise(simd::Tier::kScalar, false, pw_reps, trials);
+  const PathResult sten_seed =
+      run_stencil(simd::Tier::kScalar, false, sten_reps, trials);
+  const PathResult blas_scalar =
+      run_daxpy(simd::Tier::kScalar, false, blas_reps, trials);
+  const PathResult dot_scalar =
+      run_ddot(simd::Tier::kScalar, false, blas_reps, trials);
+  const PathResult lw_scalar =
+      run_longwave(simd::Tier::kScalar, false, 64, lw_reps, trials);
+  const PathResult fft_scalar =
+      run_fft(simd::Tier::kScalar, false, 1024, fft_reps, trials);
+  const PathResult fft144_scalar =
+      run_fft(simd::Tier::kScalar, false, 144, fft_reps, trials);
+
+  // Forced-scalar dispatch must be the scalar code exactly (bitwise), even
+  // for the reduction families — equal-work short runs on both sides.
+  const bool forced_scalar_bits =
+      bitwise_equal(run_longwave(simd::Tier::kScalar, false, 64, 3, 1).fields,
+                    run_longwave(simd::Tier::kScalar, true, 64, 3, 1).fields) &&
+      bitwise_equal(run_fft(simd::Tier::kScalar, false, 1024, 2, 1).fields,
+                    run_fft(simd::Tier::kScalar, true, 1024, 2, 1).fields) &&
+      bitwise_equal(run_fft(simd::Tier::kScalar, false, 144, 2, 1).fields,
+                    run_fft(simd::Tier::kScalar, true, 144, 2, 1).fields);
+
+  // Per-tier runs: bitwise for the contracted families, ulp for reductions.
+  bool adv_bits = true, pw_bits = true, sten_bits = true, daxpy_bits = true;
+  double ddot_worst = 0.0, lw_worst = 0.0, fft_worst = 0.0;
+  struct TierRow {
+    simd::Tier tier;
+    double rows_ms, adv_ms, pw_ms, sten_ms, daxpy_ms, ddot_ms, lw_ms, fft_ms;
+  };
+  std::vector<TierRow> rows;
+  for (simd::Tier tier : tiers) {
+    const PathResult advr = run_advect_rows(tier, rows_reps, trials);
+    const PathResult adv = run_advection(tier, false, adv_reps, trials);
+    const PathResult pw = run_pointwise(tier, true, pw_reps, trials);
+    const PathResult sten = run_stencil(tier, true, sten_reps, trials);
+    const PathResult axp = run_daxpy(tier, true, blas_reps, trials);
+    const PathResult dot = run_ddot(tier, true, blas_reps, trials);
+    const PathResult lw = run_longwave(tier, true, 64, lw_reps, trials);
+    const PathResult fft1k = run_fft(tier, true, 1024, fft_reps, trials);
+    const PathResult fft144 = run_fft(tier, true, 144, fft_reps, trials);
+
+    adv_bits = adv_bits && bitwise_equal(rows_scalar.fields, advr.fields) &&
+               bitwise_equal(adv_seed.fields, adv.fields);
+    pw_bits = pw_bits && bitwise_equal(pw_scalar.fields, pw.fields);
+    sten_bits = sten_bits && bitwise_equal(sten_seed.fields, sten.fields);
+    daxpy_bits = daxpy_bits && bitwise_equal(blas_scalar.fields, axp.fields);
+    ddot_worst =
+        std::max(ddot_worst, max_ulp(dot_scalar.fields, dot.fields));
+    lw_worst = std::max(lw_worst, max_ulp(lw_scalar.fields, lw.fields));
+    fft_worst =
+        std::max(fft_worst, max_ulp(fft_scalar.fields, fft1k.fields));
+    fft_worst =
+        std::max(fft_worst, max_ulp(fft144_scalar.fields, fft144.fields));
+
+    rows.push_back({tier, advr.seconds * 1e3, adv.seconds * 1e3,
+                    pw.seconds * 1e3, sten.seconds * 1e3, axp.seconds * 1e3,
+                    dot.seconds * 1e3, lw.seconds * 1e3, fft1k.seconds * 1e3});
+  }
+
+  const bool correctness = adv_bits && pw_bits && sten_bits && daxpy_bits &&
+                           forced_scalar_bits && ddot_worst <= kMaxUlpDot &&
+                           lw_worst <= kMaxUlp && fft_worst <= kMaxUlp;
+
+  Table bits("Cross-tier correctness vs scalar references",
+             {"Family", "Contract", "Result"});
+  auto verdict = [](bool ok) { return ok ? "identical" : "MISMATCH"; };
+  bits.add_row({"advection (rows + engine vs seed)", "bitwise",
+                verdict(adv_bits)});
+  bits.add_row({"pointwise", "bitwise", verdict(pw_bits)});
+  bits.add_row({"stencil separate", "bitwise", verdict(sten_bits)});
+  bits.add_row({"daxpy", "bitwise", verdict(daxpy_bits)});
+  bits.add_row({"forced-scalar longwave+fft", "bitwise",
+                verdict(forced_scalar_bits)});
+  bits.add_row({"ddot", "<= " + Table::num(kMaxUlpDot, 0) + " ulp",
+                Table::num(ddot_worst, 1) + " ulp"});
+  bits.add_row({"longwave", "<= " + Table::num(kMaxUlp, 0) + " ulp",
+                Table::num(lw_worst, 1) + " ulp"});
+  bits.add_row({"fft fwd (1024, 144)", "<= " + Table::num(kMaxUlp, 0) + " ulp",
+                Table::num(fft_worst, 1) + " ulp"});
+  agcm::bench::emit_table(report, bits);
+
+  report.set("mode", g_check_only ? "check-only" : "full");
+  report.set("active_tier", std::string(simd::tier_name(active)));
+  report.set("detected_tier",
+             std::string(simd::tier_name(simd::info().detected)));
+  report.set("tiers_checked", static_cast<double>(tiers.size()));
+  report.set("advection_bitwise_identical", adv_bits);
+  report.set("pointwise_bitwise_identical", pw_bits);
+  report.set("stencil_bitwise_identical", sten_bits);
+  report.set("daxpy_bitwise_identical", daxpy_bits);
+  report.set("forced_scalar_bitwise_identical", forced_scalar_bits);
+  report.set("ddot_max_ulp", ddot_worst);
+  report.set("longwave_max_ulp", lw_worst);
+  report.set("fft_max_ulp", fft_worst);
+  report.set("gate_speedup_min", kSpeedGate);
+
+  bool gates = correctness;
+  if (!g_check_only) {
+    Table speed("Per-tier best-of-" + std::to_string(trials) +
+                    " host time (ms; speedup vs forced-scalar engine)",
+                {"Tier", "Advect rows", "Advect engine", "Pointwise",
+                 "Stencil", "daxpy", "ddot", "Longwave", "FFT 1024"});
+    const TierRow& base = rows.front();
+    auto cell = [&](double ms, double base_ms) {
+      return Table::num(ms, 3) + " (" + Table::num(base_ms / ms, 2) + "x)";
+    };
+    for (const TierRow& r : rows) {
+      speed.add_row({simd::tier_name(r.tier), cell(r.rows_ms, base.rows_ms),
+                     cell(r.adv_ms, base.adv_ms), cell(r.pw_ms, base.pw_ms),
+                     cell(r.sten_ms, base.sten_ms),
+                     cell(r.daxpy_ms, base.daxpy_ms),
+                     cell(r.ddot_ms, base.ddot_ms), cell(r.lw_ms, base.lw_ms),
+                     cell(r.fft_ms, base.fft_ms)});
+    }
+    agcm::bench::emit_table(report, speed);
+
+    if (active == simd::Tier::kScalar) {
+      agcm::bench::print_note(
+          "speed gates skipped: resolved tier is scalar (no SIMD tier "
+          "built/supported, or AGCM_SIMD=scalar)");
+      report.set("speed_gates_skipped", true);
+    } else {
+      double adv_speedup = 0.0, pw_speedup = 0.0;
+      for (const TierRow& r : rows) {
+        if (r.tier == active) {
+          adv_speedup = base.rows_ms / r.rows_ms;
+          pw_speedup = base.pw_ms / r.pw_ms;
+        }
+      }
+      report.set("advection_speedup", adv_speedup);
+      report.set("pointwise_speedup", pw_speedup);
+      const bool speed_ok =
+          adv_speedup >= kSpeedGate && pw_speedup >= kSpeedGate;
+      if (!speed_ok) {
+        std::fprintf(stderr,
+                     "speedup gate failed at tier %s: advection rows %.2fx, "
+                     "pointwise %.2fx (both >= %.1fx required)\n",
+                     simd::tier_name(active), adv_speedup, pw_speedup,
+                     kSpeedGate);
+      }
+      gates = gates && speed_ok;
+    }
+  }
+  if (!correctness) {
+    std::fprintf(stderr, "cross-tier correctness check failed\n");
+  }
+
+  agcm::bench::print_note(
+      g_check_only
+          ? "check-only: deterministic fields only (no host timings)"
+          : "gates: advection and pointwise >= " + Table::num(kSpeedGate, 1) +
+                "x scalar at the active tier; all contracted families "
+                "bitwise; reductions <= " +
+                Table::num(kMaxUlp, 0) + " ulp");
+
+  report.set("gates_passed", gates);
+  report.finish();
+  return gates ? 0 : 1;
+}

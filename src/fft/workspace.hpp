@@ -72,7 +72,7 @@ class FftWorkspace {
     std::unique_ptr<FftPlan> plan;
   };
   std::vector<Entry> plans_;  ///< few distinct lengths; linear scan
-  std::vector<Complex> complex_;
+  AlignedComplexVec complex_;  ///< 64-byte aligned for the SIMD stage path
   std::vector<int> index_;
 };
 

@@ -19,38 +19,15 @@
 #include <vector>
 
 #include "grid/field_view.hpp"
+#include "util/aligned.hpp"
 #include "util/error.hpp"
 
 namespace agcm::grid {
 
-/// Minimal std::allocator drop-in that over-aligns every block to `Align`
-/// bytes via the aligned operator new (so allocation-counting tests that
-/// hook the global operators still see these allocations).
-template <typename T, std::size_t Align>
-struct AlignedAllocator {
-  using value_type = T;
-  template <typename U>
-  struct rebind {
-    using other = AlignedAllocator<U, Align>;
-  };
-
-  AlignedAllocator() noexcept = default;
-  template <typename U>
-  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
-
-  T* allocate(std::size_t n) {
-    return static_cast<T*>(
-        ::operator new(n * sizeof(T), std::align_val_t{Align}));
-  }
-  void deallocate(T* p, std::size_t n) noexcept {
-    ::operator delete(p, n * sizeof(T), std::align_val_t{Align});
-  }
-
-  template <typename U>
-  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
-    return true;
-  }
-};
+/// The over-aligning allocator lives in util/aligned.hpp now (the FFT layer
+/// shares it); this using-declaration keeps grid::AlignedAllocator spelled
+/// as before.
+using agcm::util::AlignedAllocator;
 
 template <typename T>
 class Array3D {

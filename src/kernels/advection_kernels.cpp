@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "kernels/simd/dispatch.hpp"
+
 namespace agcm::kernels {
 
 namespace {
@@ -13,75 +15,26 @@ namespace {
 /// together with the tracer and thickness streams.
 constexpr int kTileJ = 8;
 
+// The row kernels below route through the SIMD dispatch table
+// (kernels/simd/dispatch.hpp): flux_row covers both directions via pointer
+// shifts, advect_update_row is the fused upwind update. Both are
+// CONTRACTED families — every tier is bitwise identical to the seed path,
+// so dispatching them in production cannot perturb the frozen artefacts.
+
 /// fx(i) = u(i) * 0.5 * (h(i) + h(i+1)) * dy for i in [-1, ni): the seed
-/// expression verbatim, 4-wide unrolled over independent points.
-inline void flux_x_row(int ni, double dy, const double* __restrict ur,
-                       const double* __restrict hr, double* __restrict fxr) {
-#define AGCM_FLUX_X(p) fxr[(p)] = ur[(p)] * 0.5 * (hr[(p)] + hr[(p) + 1]) * dy
-  int i = -1;
-  for (; i + 4 <= ni; i += 4) {
-    AGCM_FLUX_X(i);
-    AGCM_FLUX_X(i + 1);
-    AGCM_FLUX_X(i + 2);
-    AGCM_FLUX_X(i + 3);
-  }
-  for (; i < ni; ++i) AGCM_FLUX_X(i);
-#undef AGCM_FLUX_X
+/// expression, evaluated by the dispatched flux kernel with every pointer
+/// shifted one point west (out[0] lands on fx(-1), hn = h + 1 supplies the
+/// eastern thickness).
+inline void flux_x_row(const simd::KernelOps& ops, int ni, double dy,
+                       const double* ur, const double* hr, double* fxr) {
+  ops.flux_row(ni + 1, dy, ur - 1, hr - 1, hr, fxr - 1);
 }
 
 /// fy(i) = v(i) * 0.5 * (h(i) + h_north(i)) * dx for i in [0, ni).
-inline void flux_y_row(int ni, double dx, const double* __restrict vr,
-                       const double* __restrict hr,
-                       const double* __restrict hnr,
-                       double* __restrict fyr) {
-#define AGCM_FLUX_Y(p) fyr[(p)] = vr[(p)] * 0.5 * (hr[(p)] + hnr[(p)]) * dx
-  int i = 0;
-  for (; i + 4 <= ni; i += 4) {
-    AGCM_FLUX_Y(i);
-    AGCM_FLUX_Y(i + 1);
-    AGCM_FLUX_Y(i + 2);
-    AGCM_FLUX_Y(i + 3);
-  }
-  for (; i < ni; ++i) AGCM_FLUX_Y(i);
-#undef AGCM_FLUX_Y
-}
-
-/// One tracer's update over one row: upwind fluxes, flux-form update,
-/// division kept per point — every statement is the seed's expression
-/// tree, so the row is bitwise identical to the seed path.
-inline void update_row(int ni, double dt_inv_area,
-                       const double* __restrict fxr,
-                       const double* __restrict fyr,
-                       const double* __restrict fys,
-                       const double* __restrict cr,
-                       const double* __restrict cs,
-                       const double* __restrict cn,
-                       const double* __restrict hor,
-                       const double* __restrict hnr,
-                       double* __restrict up) {
-#define AGCM_UPDATE(p)                                                     \
-  do {                                                                     \
-    const double fe = fxr[(p)];                                            \
-    const double fw = fxr[(p) - 1];                                        \
-    const double fn = fyr[(p)];                                            \
-    const double fs = fys[(p)];                                            \
-    const double flux_e = fe * (fe >= 0.0 ? cr[(p)] : cr[(p) + 1]);        \
-    const double flux_w = fw * (fw >= 0.0 ? cr[(p) - 1] : cr[(p)]);        \
-    const double flux_n = fn * (fn >= 0.0 ? cr[(p)] : cn[(p)]);            \
-    const double flux_s = fs * (fs >= 0.0 ? cs[(p)] : cr[(p)]);            \
-    const double ch = cr[(p)] * hor[(p)] -                                 \
-                      dt_inv_area * (flux_e - flux_w + flux_n - flux_s);   \
-    up[(p)] = ch / hnr[(p)];                                               \
-  } while (0)
-  int i = 0;
-  for (; i + 4 <= ni; i += 4) {
-    AGCM_UPDATE(i);
-    AGCM_UPDATE(i + 1);
-    AGCM_UPDATE(i + 2);
-    AGCM_UPDATE(i + 3);
-  }
-  for (; i < ni; ++i) AGCM_UPDATE(i);
-#undef AGCM_UPDATE
+inline void flux_y_row(const simd::KernelOps& ops, int ni, double dx,
+                       const double* vr, const double* hr, const double* hnr,
+                       double* fyr) {
+  ops.flux_row(ni, dx, vr, hr, hnr, fyr);
 }
 
 }  // namespace
@@ -106,11 +59,14 @@ void advect_tracers_engine(const AdvectionMetricsView& m,
   const grid::FieldView fxv = fx.view();
   const grid::FieldView fyv = fy.view();
 
+  // One dispatch-table fetch per engine call (resolved once per process).
+  const simd::KernelOps& ops = simd::ops();
+
   for (int k = 0; k < nk; ++k) {
     // South-edge fluxes of row 0 (face j = -1/2) before the tiles, so
     // the first tile's update rows can read fy row -1.
-    flux_y_row(ni, m.dx_vface[0], vv.row(-1, k), hv.row(-1, k), hv.row(0, k),
-               fyv.row(-1, k));
+    flux_y_row(ops, ni, m.dx_vface[0], vv.row(-1, k), hv.row(-1, k),
+               hv.row(0, k), fyv.row(-1, k));
 
     for (int j0 = 0; j0 < nj; j0 += kTileJ) {
       const int j1 = std::min(j0 + kTileJ, nj);
@@ -118,9 +74,9 @@ void advect_tracers_engine(const AdvectionMetricsView& m,
       // Flux rows of the tile (computed once, reused by every tracer).
       for (int j = j0; j < j1; ++j) {
         const double* __restrict hr = hv.row(j, k);
-        flux_x_row(ni, m.dy_face[j], uv.row(j, k), hr, fxv.row(j, k));
-        flux_y_row(ni, m.dx_vface[j + 1], vv.row(j, k), hr, hv.row(j + 1, k),
-                   fyv.row(j, k));
+        flux_x_row(ops, ni, m.dy_face[j], uv.row(j, k), hr, fxv.row(j, k));
+        flux_y_row(ops, ni, m.dx_vface[j + 1], vv.row(j, k), hr,
+                   hv.row(j + 1, k), fyv.row(j, k));
       }
 
       // Fused tracer updates while the tile's fluxes are hot. The loop
@@ -132,10 +88,11 @@ void advect_tracers_engine(const AdvectionMetricsView& m,
             static_cast<const grid::Array3D<double>&>(*tracers[t]).view();
         const grid::FieldView upv = updates[t].view();
         for (int j = j0; j < j1; ++j) {
-          update_row(ni, dt * m.inv_area[j], fxv.row(j, k), fyv.row(j, k),
-                     fyv.row(j - 1, k), cv.row(j, k), cv.row(j - 1, k),
-                     cv.row(j + 1, k), hv.row(j, k), hnv.row(j, k),
-                     upv.row(j, k));
+          ops.advect_update_row(ni, dt * m.inv_area[j], fxv.row(j, k),
+                                fyv.row(j, k), fyv.row(j - 1, k),
+                                cv.row(j, k), cv.row(j - 1, k),
+                                cv.row(j + 1, k), hv.row(j, k),
+                                hnv.row(j, k), upv.row(j, k));
         }
       }
     }

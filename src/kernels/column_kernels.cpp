@@ -1,5 +1,7 @@
 #include "kernels/column_kernels.hpp"
 
+#include "kernels/simd/dispatch.hpp"
+
 namespace agcm::kernels {
 
 void fill_longwave_emissivity(double* emis, int nlev) {
@@ -47,6 +49,22 @@ void longwave_sweep(double* theta, int nlev, const double* emis,
   }
 }
 
+void longwave_sweep_simd(double* theta, int nlev, const double* emis,
+                         double dt_sec) {
+  const simd::KernelOps& ops = simd::ops();
+  double* __restrict th = theta;
+  for (int k1 = 0; k1 < nlev; ++k1) {
+    const double t1 = th[k1];
+    const double exchange = ops.longwave_exchange(th, nlev, k1, emis, t1);
+    th[k1] += dt_sec * (exchange - 0.8) / 86400.0;
+  }
+}
+
+// Note on convection_sweep: it stays scalar by design. Each pass reads
+// th[k] and th[k+1] where th[k] may have been rewritten by the previous
+// iteration (a loop-carried dependence), so there is no per-point
+// independence to vectorize without changing the adjustment order — and
+// the iteration count it returns feeds the frozen virtual-time model.
 int convection_sweep(double* theta, double* q, int nlev, double threshold,
                      int max_iters, double& precipitation) {
   double* __restrict th = theta;

@@ -1,0 +1,160 @@
+// Runtime CPU dispatch for the explicit-SIMD kernel backend.
+//
+// The paper's single-node optimizations (Section 3.4) targeted mid-90s
+// microarchitectures through cache tiling and loop unrolling; the modern
+// equivalent of that headroom is explicit data-level parallelism. This
+// module resolves — once per process — which instruction-set tier the host
+// supports (scalar / AVX2 / AVX-512 doubles) and hands out a function table
+// of hot inner-loop kernels for that tier (docs/kernels.md, "SIMD dispatch
+// tier").
+//
+// FP contract per kernel family:
+//   * CONTRACTED (bitwise) families — advection flux + upwind-update rows,
+//     the 7-point stencil interior row, the §3.4 pointwise ⊗ panel, daxpy —
+//     are independent per-point updates whose SIMD forms perform exactly
+//     the seed's multiplies/adds per lane (no FMA: the SIMD translation
+//     units are compiled with -ffp-contract=off, and the baseline x86-64
+//     scalar build has no FMA to contract into). Every tier's output is
+//     bitwise identical to the scalar engine, which is itself bitwise
+//     identical to the preserved seed paths. These kernels run dispatched
+//     in production.
+//   * REDUCTION (ulp-bounded) families — ddot, the longwave pair-exchange
+//     sum, the FFT radix-2/4 butterfly stages — reassociate when split into
+//     SIMD lanes. Their SIMD forms are opt-in entry points, gated by
+//     max-ulp tests and benches; the frozen virtual-time artefacts keep the
+//     sequential scalar paths (docs/kernels.md, "frozen-artefact rule").
+//
+// Robustness: after resolving a tier, the dispatcher runs a bitwise
+// self-check of every CONTRACTED family against the scalar kernels on
+// synthetic data. A family that cannot reproduce the scalar bits on this
+// compiler/host (e.g. an exotic toolchain that contracts the scalar code)
+// is demoted to scalar individually — performance degrades, bits never do.
+//
+// Overrides: AGCM_SIMD={scalar,avx2,avx512} caps the tier (CI forced-
+// fallback legs, A/B testing); requests above what the host/build supports
+// clamp down with a warning. Tests and benches can switch tiers at runtime
+// via force_tier()/reset_tier() (single-threaded use only).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agcm::simd {
+
+/// Instruction-set tiers, ascending. kScalar is always available and is
+/// bit-for-bit the PR 4 unrolled-scalar engine.
+enum class Tier : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+const char* tier_name(Tier t);
+
+/// Parses "scalar" / "avx2" / "avx512" (case-insensitive). Returns false
+/// (and leaves `out` untouched) for anything else.
+bool parse_tier(std::string_view name, Tier& out);
+
+/// The kernel families behind the dispatch table (for demotion reporting).
+enum class Family : int {
+  kFluxRow = 0,
+  kAdvectUpdateRow,
+  kStencil7Interior,
+  kPointwisePanel,
+  kDaxpy,
+  kDdot,
+  kLongwaveExchange,
+  kFftRadix2,
+  kFftRadix4,
+};
+inline constexpr int kFamilyCount = 9;
+
+const char* family_name(Family f);
+
+/// True for the families whose SIMD kernels are bitwise identical to the
+/// scalar engine (and therefore run dispatched in production); false for
+/// the ulp-bounded reduction families (opt-in entry points only).
+bool family_is_contracted(Family f);
+
+/// Per-tier function table of the hot inner loops. All pointers are always
+/// non-null (scalar fills any slot a tier cannot cover).
+struct KernelOps {
+  /// out[i] = vel[i] * 0.5 * (h[i] + hn[i]) * scale for i in [0, n).
+  /// Serves both advection flux directions (flux_x calls it with pointers
+  /// shifted by -1 and hn = h + 1). CONTRACTED.
+  void (*flux_row)(int n, double scale, const double* vel, const double* h,
+                   const double* hn, double* out);
+  /// One tracer's upwind flux-form update over one row (the seed's
+  /// expression tree per point; see kernels/advection_kernels.cpp).
+  /// CONTRACTED.
+  void (*advect_update_row)(int ni, double dt_inv_area, const double* fxr,
+                            const double* fyr, const double* fys,
+                            const double* cr, const double* cs,
+                            const double* cn, const double* hor,
+                            const double* hnr, double* up);
+  /// out[i] += f[i+1] + f[i-1] + fjp[i] + fjm[i] + fkp[i] + fkm[i]
+  ///           - 6.0 * f[i] for i in [0, n); `f` addresses the first
+  /// interior point, so f[-1] must be valid. CONTRACTED.
+  void (*stencil7_interior)(int n, const double* f, const double* fjp,
+                            const double* fjm, const double* fkp,
+                            const double* fkm, double* out);
+  /// One §3.4 pointwise ⊗ panel: out[q] = a[q] * b[q] for q in [0, m).
+  /// CONTRACTED.
+  void (*pointwise_panel)(std::size_t m, const double* a, const double* b,
+                          double* out);
+  /// y[i] = y[i] + alpha * x[i] (mul-then-add, never fused). CONTRACTED.
+  void (*daxpy)(std::size_t n, double alpha, const double* x, double* y);
+  /// dot(x, y). REDUCTION: SIMD tiers use lane accumulators (reassociated;
+  /// ulp-bounded vs the sequential scalar sum).
+  double (*ddot)(std::size_t n, const double* x, const double* y);
+  /// The longwave pair-exchange sum for layer k1:
+  ///   sum_{k2 != k1} emis[|k1-k2|] * (theta[k2] - t1),
+  /// split at the diagonal exactly like kernels::longwave_sweep. REDUCTION.
+  double (*longwave_exchange)(const double* theta, int nlev, int k1,
+                              const double* emis, double t1);
+  /// One radix-2 butterfly stage over an interleaved complex-double array
+  /// of n complexes with sub-transform size m; `tw` is the stage's twiddle
+  /// table (m interleaved complexes). REDUCTION (per-point complex
+  /// arithmetic; classed with the butterflies' frozen-path rule).
+  void (*fft_radix2_stage)(double* a, int n, int m, const double* tw);
+  /// One radix-4 butterfly stage; tw1/tw2/tw3 are the per-leg twiddle
+  /// tables (m interleaved complexes each). REDUCTION.
+  void (*fft_radix4_stage)(double* a, int n, int m, const double* tw1,
+                           const double* tw2, const double* tw3,
+                           bool inverse);
+};
+
+/// The resolved dispatch decision (exported into bench/trace metadata).
+struct DispatchInfo {
+  Tier detected = Tier::kScalar;   ///< best tier the CPU + build support
+  Tier requested = Tier::kScalar;  ///< after the AGCM_SIMD override
+  Tier active = Tier::kScalar;     ///< what ops() actually serves
+  bool env_override = false;       ///< AGCM_SIMD was set (and non-empty)
+  std::string env_value;           ///< raw AGCM_SIMD value, if any
+  bool built_avx2 = false;         ///< AVX2 kernels compiled into the binary
+  bool built_avx512 = false;       ///< AVX-512 kernels compiled in
+  std::vector<std::string> cpu_features;      ///< detected host features
+  std::vector<std::string> demoted_families;  ///< failed bitwise self-check
+};
+
+/// The active kernel table. Resolved on first use (cpuid + AGCM_SIMD +
+/// bitwise self-check); constant afterwards unless force_tier() is called.
+const KernelOps& ops();
+
+/// The active tier (== info().active).
+Tier active_tier();
+
+/// The full dispatch decision.
+const DispatchInfo& info();
+
+/// True when `t`'s kernels are compiled in AND the host CPU supports them.
+bool tier_supported(Tier t);
+
+/// Re-resolves the table for an explicit tier (tests/benches; not
+/// thread-safe against concurrent kernel calls). Returns false — leaving
+/// the current table untouched — if the tier is not supported. The bitwise
+/// self-check and per-family demotion run for the forced tier too.
+bool force_tier(Tier t);
+
+/// Restores the automatic (cpuid + AGCM_SIMD) resolution.
+void reset_tier();
+
+}  // namespace agcm::simd

@@ -1,0 +1,21 @@
+// Internal: per-tier kernel table providers (one translation unit per
+// tier, each compiled with exactly the flags its ISA needs — see
+// src/kernels/simd/CMakeLists.txt and docs/kernels.md).
+#pragma once
+
+#include "kernels/simd/dispatch.hpp"
+
+namespace agcm::simd::detail {
+
+/// Always available; every kernel is the seed expression tree, 4-wide
+/// unrolled like the PR 4 engine.
+const KernelOps& scalar_ops();
+
+/// nullptr when the compiler could not target AVX2 (the TU then compiles
+/// as a stub).
+const KernelOps* avx2_ops();
+
+/// nullptr when the compiler could not target AVX-512 (F+DQ+VL).
+const KernelOps* avx512_ops();
+
+}  // namespace agcm::simd::detail

@@ -1,0 +1,309 @@
+// AVX2 tier (4 doubles per vector).
+//
+// Compiled with -mavx2 -ffp-contract=off (src/kernels/simd/CMakeLists.txt).
+// The contract pin matters: -mavx2 implies nothing about FMA, but a
+// compiler told the target has FMA (e.g. via a wider -march) would happily
+// contract even *intrinsic* mul+add sequences into fused ops, breaking the
+// bitwise contract against the scalar tier. With plain mul/add/sub/div
+// only — never an FMA — every contracted-family kernel below performs the
+// seed's exact IEEE operations per lane. Tails run the same scalar
+// expressions (also uncontracted in this TU).
+#include "kernels/simd/kernels.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace agcm::simd::detail {
+
+namespace {
+
+void flux_row(int n, double scale, const double* vel, const double* h,
+              const double* hn, double* out) {
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d scl = _mm256_set1_pd(scale);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(vel + i);
+    const __m256d hs =
+        _mm256_add_pd(_mm256_loadu_pd(h + i), _mm256_loadu_pd(hn + i));
+    _mm256_storeu_pd(
+        out + i,
+        _mm256_mul_pd(_mm256_mul_pd(_mm256_mul_pd(v, half), hs), scl));
+  }
+  for (; i < n; ++i) out[i] = vel[i] * 0.5 * (h[i] + hn[i]) * scale;
+}
+
+void advect_update_row(int ni, double dt_inv_area, const double* fxr,
+                       const double* fyr, const double* fys, const double* cr,
+                       const double* cs, const double* cn, const double* hor,
+                       const double* hnr, double* up) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d vdt = _mm256_set1_pd(dt_inv_area);
+  int i = 0;
+  for (; i + 4 <= ni; i += 4) {
+    const __m256d fe = _mm256_loadu_pd(fxr + i);
+    const __m256d fw = _mm256_loadu_pd(fxr + i - 1);
+    const __m256d fn = _mm256_loadu_pd(fyr + i);
+    const __m256d fs = _mm256_loadu_pd(fys + i);
+    const __m256d c0 = _mm256_loadu_pd(cr + i);
+    const __m256d cp = _mm256_loadu_pd(cr + i + 1);
+    const __m256d cm = _mm256_loadu_pd(cr + i - 1);
+    const __m256d cnv = _mm256_loadu_pd(cn + i);
+    const __m256d csv = _mm256_loadu_pd(cs + i);
+    // blendv picks its SECOND operand where the mask is set, so the
+    // upwind select `f >= 0 ? a : b` is blendv(b, a, f >= 0).
+    const __m256d me = _mm256_cmp_pd(fe, zero, _CMP_GE_OQ);
+    const __m256d mw = _mm256_cmp_pd(fw, zero, _CMP_GE_OQ);
+    const __m256d mn = _mm256_cmp_pd(fn, zero, _CMP_GE_OQ);
+    const __m256d ms = _mm256_cmp_pd(fs, zero, _CMP_GE_OQ);
+    const __m256d flux_e = _mm256_mul_pd(fe, _mm256_blendv_pd(cp, c0, me));
+    const __m256d flux_w = _mm256_mul_pd(fw, _mm256_blendv_pd(c0, cm, mw));
+    const __m256d flux_n = _mm256_mul_pd(fn, _mm256_blendv_pd(cnv, c0, mn));
+    const __m256d flux_s = _mm256_mul_pd(fs, _mm256_blendv_pd(c0, csv, ms));
+    const __m256d net = _mm256_sub_pd(
+        _mm256_add_pd(_mm256_sub_pd(flux_e, flux_w), flux_n), flux_s);
+    const __m256d ch =
+        _mm256_sub_pd(_mm256_mul_pd(c0, _mm256_loadu_pd(hor + i)),
+                      _mm256_mul_pd(vdt, net));
+    _mm256_storeu_pd(up + i, _mm256_div_pd(ch, _mm256_loadu_pd(hnr + i)));
+  }
+  for (; i < ni; ++i) {
+    const double fe = fxr[i];
+    const double fw = fxr[i - 1];
+    const double fn = fyr[i];
+    const double fs = fys[i];
+    const double flux_e = fe * (fe >= 0.0 ? cr[i] : cr[i + 1]);
+    const double flux_w = fw * (fw >= 0.0 ? cr[i - 1] : cr[i]);
+    const double flux_n = fn * (fn >= 0.0 ? cr[i] : cn[i]);
+    const double flux_s = fs * (fs >= 0.0 ? cs[i] : cr[i]);
+    const double ch = cr[i] * hor[i] -
+                      dt_inv_area * (flux_e - flux_w + flux_n - flux_s);
+    up[i] = ch / hnr[i];
+  }
+}
+
+void stencil7_interior(int n, const double* f, const double* fjp,
+                       const double* fjm, const double* fkp,
+                       const double* fkm, double* out) {
+  const __m256d six = _mm256_set1_pd(6.0);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d s = _mm256_add_pd(_mm256_loadu_pd(f + i + 1),
+                              _mm256_loadu_pd(f + i - 1));
+    s = _mm256_add_pd(s, _mm256_loadu_pd(fjp + i));
+    s = _mm256_add_pd(s, _mm256_loadu_pd(fjm + i));
+    s = _mm256_add_pd(s, _mm256_loadu_pd(fkp + i));
+    s = _mm256_add_pd(s, _mm256_loadu_pd(fkm + i));
+    s = _mm256_sub_pd(s, _mm256_mul_pd(six, _mm256_loadu_pd(f + i)));
+    _mm256_storeu_pd(out + i, _mm256_add_pd(_mm256_loadu_pd(out + i), s));
+  }
+  for (; i < n; ++i)
+    out[i] += f[i + 1] + f[i - 1] + fjp[i] + fjm[i] + fkp[i] + fkm[i] -
+              6.0 * f[i];
+}
+
+void pointwise_panel(std::size_t m, const double* a, const double* b,
+                     double* out) {
+  std::size_t q = 0;
+  for (; q + 8 <= m; q += 8) {
+    _mm256_storeu_pd(out + q, _mm256_mul_pd(_mm256_loadu_pd(a + q),
+                                            _mm256_loadu_pd(b + q)));
+    _mm256_storeu_pd(out + q + 4,
+                     _mm256_mul_pd(_mm256_loadu_pd(a + q + 4),
+                                   _mm256_loadu_pd(b + q + 4)));
+  }
+  for (; q + 4 <= m; q += 4)
+    _mm256_storeu_pd(out + q, _mm256_mul_pd(_mm256_loadu_pd(a + q),
+                                            _mm256_loadu_pd(b + q)));
+  for (; q < m; ++q) out[q] = a[q] * b[q];
+}
+
+void daxpy(std::size_t n, double alpha, const double* x, double* y) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+inline double hsum(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d s = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+double ddot(std::size_t n, const double* x, const double* y) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+  }
+  double total = hsum(acc);
+  for (; i < n; ++i) total += x[i] * y[i];
+  return total;
+}
+
+double longwave_exchange(const double* theta, int nlev, int k1,
+                         const double* emis, double t1) {
+  const __m256d vt1 = _mm256_set1_pd(t1);
+  __m256d vacc = _mm256_setzero_pd();
+  double acc = 0.0;
+  // Below the diagonal: emis index k1 - k2 descends as k2 ascends, so the
+  // emissivity load is reversed lane-wise.
+  int p = 0;
+  for (; p + 4 <= k1; p += 4) {
+    const __m256d th = _mm256_loadu_pd(theta + p);
+    const __m256d em = _mm256_permute4x64_pd(
+        _mm256_loadu_pd(emis + k1 - p - 3), 0x1B);
+    vacc = _mm256_add_pd(vacc, _mm256_mul_pd(em, _mm256_sub_pd(th, vt1)));
+  }
+  for (; p < k1; ++p) acc += emis[k1 - p] * (theta[p] - t1);
+  // Above the diagonal: both streams ascend.
+  const int count = nlev - 1 - k1;
+  int q = 0;
+  for (; q + 4 <= count; q += 4) {
+    const __m256d th = _mm256_loadu_pd(theta + k1 + 1 + q);
+    const __m256d em = _mm256_loadu_pd(emis + 1 + q);
+    vacc = _mm256_add_pd(vacc, _mm256_mul_pd(em, _mm256_sub_pd(th, vt1)));
+  }
+  for (; q < count; ++q) acc += emis[1 + q] * (theta[k1 + 1 + q] - t1);
+  return acc + hsum(vacc);
+}
+
+// ---- complex helpers (interleaved [re, im] lanes) -----------------------
+
+/// Sign mask flipping the REAL (even) lanes.
+inline __m256d neg_even() { return _mm256_set_pd(0.0, -0.0, 0.0, -0.0); }
+/// Sign mask flipping the IMAG (odd) lanes.
+inline __m256d neg_odd() { return _mm256_set_pd(-0.0, 0.0, -0.0, 0.0); }
+
+/// Complex multiply, std::complex's expression order per component:
+/// (xre*wre - xim*wim, xre*wim + xim*wre). IEEE a + (-b) == a - b, so the
+/// sign-flip-then-add form is bitwise the scalar sub/add pair.
+inline __m256d cmul(__m256d x, __m256d w) {
+  const __m256d xre = _mm256_permute_pd(x, 0x0);  // dup even lanes
+  const __m256d xim = _mm256_permute_pd(x, 0xF);  // dup odd lanes
+  const __m256d ws = _mm256_permute_pd(w, 0x5);   // swap re/im
+  const __m256d t1 = _mm256_mul_pd(xre, w);
+  const __m256d t2 = _mm256_mul_pd(xim, ws);
+  return _mm256_add_pd(t1, _mm256_xor_pd(t2, neg_even()));
+}
+
+/// Multiply by +i: (re, im) -> (-im, re).
+inline __m256d cmul_i(__m256d x) {
+  return _mm256_xor_pd(_mm256_permute_pd(x, 0x5), neg_even());
+}
+
+/// Multiply by -i: (re, im) -> (im, -re).
+inline __m256d cmul_negi(__m256d x) {
+  return _mm256_xor_pd(_mm256_permute_pd(x, 0x5), neg_odd());
+}
+
+void fft_radix2_stage(double* a, int n, int m, const double* tw) {
+  const int m2 = 2 * m;
+  for (int b2 = 0; b2 < 2 * n; b2 += 2 * m2) {
+    double* p0 = a + b2;
+    double* p1 = p0 + m2;
+    int q2 = 0;
+    for (; q2 + 4 <= m2; q2 += 4) {
+      const __m256d u = _mm256_loadu_pd(p0 + q2);
+      const __m256d t =
+          cmul(_mm256_loadu_pd(p1 + q2), _mm256_loadu_pd(tw + q2));
+      _mm256_storeu_pd(p0 + q2, _mm256_add_pd(u, t));
+      _mm256_storeu_pd(p1 + q2, _mm256_sub_pd(u, t));
+    }
+    for (; q2 < m2; q2 += 2) {
+      const double ure = p0[q2], uim = p0[q2 + 1];
+      const double vre = p1[q2], vim = p1[q2 + 1];
+      const double wre = tw[q2], wim = tw[q2 + 1];
+      const double tre = vre * wre - vim * wim;
+      const double tim = vre * wim + vim * wre;
+      p0[q2] = ure + tre;
+      p0[q2 + 1] = uim + tim;
+      p1[q2] = ure - tre;
+      p1[q2 + 1] = uim - tim;
+    }
+  }
+}
+
+void fft_radix4_stage(double* a, int n, int m, const double* tw1,
+                      const double* tw2, const double* tw3, bool inverse) {
+  const int m2 = 2 * m;
+  for (int b2 = 0; b2 < 2 * n; b2 += 4 * m2) {
+    double* p0 = a + b2;
+    double* p1 = p0 + m2;
+    double* p2 = p1 + m2;
+    double* p3 = p2 + m2;
+    int q2 = 0;
+    for (; q2 + 4 <= m2; q2 += 4) {
+      const __m256d x0 = _mm256_loadu_pd(p0 + q2);
+      const __m256d x1 =
+          cmul(_mm256_loadu_pd(p1 + q2), _mm256_loadu_pd(tw1 + q2));
+      const __m256d x2 =
+          cmul(_mm256_loadu_pd(p2 + q2), _mm256_loadu_pd(tw2 + q2));
+      const __m256d x3 =
+          cmul(_mm256_loadu_pd(p3 + q2), _mm256_loadu_pd(tw3 + q2));
+      const __m256d t0 = _mm256_add_pd(x0, x2);
+      const __m256d t1 = _mm256_sub_pd(x0, x2);
+      const __m256d t2 = _mm256_add_pd(x1, x3);
+      const __m256d d = _mm256_sub_pd(x1, x3);
+      const __m256d jd = inverse ? cmul_i(d) : cmul_negi(d);
+      _mm256_storeu_pd(p0 + q2, _mm256_add_pd(t0, t2));
+      _mm256_storeu_pd(p1 + q2, _mm256_add_pd(t1, jd));
+      _mm256_storeu_pd(p2 + q2, _mm256_sub_pd(t0, t2));
+      _mm256_storeu_pd(p3 + q2, _mm256_sub_pd(t1, jd));
+    }
+    for (; q2 < m2; q2 += 2) {
+      const double w1re = tw1[q2], w1im = tw1[q2 + 1];
+      const double w2re = tw2[q2], w2im = tw2[q2 + 1];
+      const double w3re = tw3[q2], w3im = tw3[q2 + 1];
+      const double x0re = p0[q2], x0im = p0[q2 + 1];
+      const double x1re = p1[q2] * w1re - p1[q2 + 1] * w1im;
+      const double x1im = p1[q2] * w1im + p1[q2 + 1] * w1re;
+      const double x2re = p2[q2] * w2re - p2[q2 + 1] * w2im;
+      const double x2im = p2[q2] * w2im + p2[q2 + 1] * w2re;
+      const double x3re = p3[q2] * w3re - p3[q2 + 1] * w3im;
+      const double x3im = p3[q2] * w3im + p3[q2 + 1] * w3re;
+      const double t0re = x0re + x2re, t0im = x0im + x2im;
+      const double t1re = x0re - x2re, t1im = x0im - x2im;
+      const double t2re = x1re + x3re, t2im = x1im + x3im;
+      const double dre = x1re - x3re, dim = x1im - x3im;
+      const double jdre = inverse ? -dim : dim;
+      const double jdim = inverse ? dre : -dre;
+      p0[q2] = t0re + t2re;
+      p0[q2 + 1] = t0im + t2im;
+      p1[q2] = t1re + jdre;
+      p1[q2 + 1] = t1im + jdim;
+      p2[q2] = t0re - t2re;
+      p2[q2 + 1] = t0im - t2im;
+      p3[q2] = t1re - jdre;
+      p3[q2 + 1] = t1im - jdim;
+    }
+  }
+}
+
+}  // namespace
+
+const KernelOps* avx2_ops() {
+  static const KernelOps ops{flux_row,        advect_update_row,
+                             stencil7_interior, pointwise_panel,
+                             daxpy,           ddot,
+                             longwave_exchange, fft_radix2_stage,
+                             fft_radix4_stage};
+  return &ops;
+}
+
+}  // namespace agcm::simd::detail
+
+#else  // !__AVX2__
+
+namespace agcm::simd::detail {
+const KernelOps* avx2_ops() { return nullptr; }
+}  // namespace agcm::simd::detail
+
+#endif

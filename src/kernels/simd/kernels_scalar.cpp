@@ -1,0 +1,216 @@
+// Scalar tier of the SIMD dispatch table.
+//
+// Every kernel here is the seed's per-point expression tree, 4-wide
+// unrolled exactly like the PR 4 engine rows it replaces — so the forced-
+// scalar tier IS the PR 4 engine, and the bitwise chain
+//   seed reference == scalar tier == (self-checked) SIMD tiers
+// anchors at the left end in code that is compiled with the build's
+// default flags (no -m options, no -ffp-contract pin: if the whole build
+// is compiled with unusual FP flags, this TU drifts in lockstep with the
+// seed paths, and the dispatcher's self-check demotes the SIMD tiers
+// instead — bits before speed).
+#include "kernels/simd/kernels.hpp"
+
+namespace agcm::simd::detail {
+
+namespace {
+
+void flux_row(int n, double scale, const double* __restrict vel,
+              const double* __restrict h, const double* __restrict hn,
+              double* __restrict out) {
+#define AGCM_FLUX(p) out[(p)] = vel[(p)] * 0.5 * (h[(p)] + hn[(p)]) * scale
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    AGCM_FLUX(i);
+    AGCM_FLUX(i + 1);
+    AGCM_FLUX(i + 2);
+    AGCM_FLUX(i + 3);
+  }
+  for (; i < n; ++i) AGCM_FLUX(i);
+#undef AGCM_FLUX
+}
+
+void advect_update_row(int ni, double dt_inv_area,
+                       const double* __restrict fxr,
+                       const double* __restrict fyr,
+                       const double* __restrict fys,
+                       const double* __restrict cr,
+                       const double* __restrict cs,
+                       const double* __restrict cn,
+                       const double* __restrict hor,
+                       const double* __restrict hnr, double* __restrict up) {
+#define AGCM_UPDATE(p)                                                     \
+  do {                                                                     \
+    const double fe = fxr[(p)];                                            \
+    const double fw = fxr[(p) - 1];                                        \
+    const double fn = fyr[(p)];                                            \
+    const double fs = fys[(p)];                                            \
+    const double flux_e = fe * (fe >= 0.0 ? cr[(p)] : cr[(p) + 1]);        \
+    const double flux_w = fw * (fw >= 0.0 ? cr[(p) - 1] : cr[(p)]);        \
+    const double flux_n = fn * (fn >= 0.0 ? cr[(p)] : cn[(p)]);            \
+    const double flux_s = fs * (fs >= 0.0 ? cs[(p)] : cr[(p)]);            \
+    const double ch = cr[(p)] * hor[(p)] -                                 \
+                      dt_inv_area * (flux_e - flux_w + flux_n - flux_s);   \
+    up[(p)] = ch / hnr[(p)];                                               \
+  } while (0)
+  int i = 0;
+  for (; i + 4 <= ni; i += 4) {
+    AGCM_UPDATE(i);
+    AGCM_UPDATE(i + 1);
+    AGCM_UPDATE(i + 2);
+    AGCM_UPDATE(i + 3);
+  }
+  for (; i < ni; ++i) AGCM_UPDATE(i);
+#undef AGCM_UPDATE
+}
+
+void stencil7_interior(int n, const double* __restrict f,
+                       const double* __restrict fjp,
+                       const double* __restrict fjm,
+                       const double* __restrict fkp,
+                       const double* __restrict fkm, double* __restrict out) {
+#define AGCM_LAP7(p)                                                  \
+  out[(p)] += f[(p) + 1] + f[(p) - 1] + fjp[(p)] + fjm[(p)] +         \
+              fkp[(p)] + fkm[(p)] - 6.0 * f[(p)]
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    AGCM_LAP7(i);
+    AGCM_LAP7(i + 1);
+    AGCM_LAP7(i + 2);
+    AGCM_LAP7(i + 3);
+  }
+  for (; i < n; ++i) AGCM_LAP7(i);
+#undef AGCM_LAP7
+}
+
+void pointwise_panel(std::size_t m, const double* __restrict a,
+                     const double* __restrict b, double* __restrict out) {
+  std::size_t q = 0;
+  for (; q + 4 <= m; q += 4) {
+    out[q] = a[q] * b[q];
+    out[q + 1] = a[q + 1] * b[q + 1];
+    out[q + 2] = a[q + 2] * b[q + 2];
+    out[q + 3] = a[q + 3] * b[q + 3];
+  }
+  for (; q < m; ++q) out[q] = a[q] * b[q];
+}
+
+void daxpy(std::size_t n, double alpha, const double* __restrict x,
+           double* __restrict y) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    y[i] += alpha * x[i];
+    y[i + 1] += alpha * x[i + 1];
+    y[i + 2] += alpha * x[i + 2];
+    y[i + 3] += alpha * x[i + 3];
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double ddot(std::size_t n, const double* __restrict x,
+            const double* __restrict y) {
+  // ONE sequential accumulator: this is the reduction order the frozen
+  // paths (and singlenode::ddot) use; the SIMD tiers reassociate.
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+/// acc += emis[e_begin + p*step] * (theta[k2_begin + p] - t1); the exact
+/// run loop of kernels::longwave_sweep (column_kernels.cpp).
+double exchange_run(double acc, const double* __restrict theta, int k2_begin,
+                    int count, const double* __restrict emis, int e_begin,
+                    int step, double t1) {
+#define AGCM_EXCH(p)                                                     \
+  acc += emis[e_begin + (p) * step] * (theta[k2_begin + (p)] - t1)
+  int p = 0;
+  for (; p + 4 <= count; p += 4) {
+    AGCM_EXCH(p);
+    AGCM_EXCH(p + 1);
+    AGCM_EXCH(p + 2);
+    AGCM_EXCH(p + 3);
+  }
+  for (; p < count; ++p) AGCM_EXCH(p);
+#undef AGCM_EXCH
+  return acc;
+}
+
+double longwave_exchange(const double* theta, int nlev, int k1,
+                         const double* emis, double t1) {
+  double acc = exchange_run(0.0, theta, 0, k1, emis, k1, -1, t1);
+  return exchange_run(acc, theta, k1 + 1, nlev - 1 - k1, emis, 1, +1, t1);
+}
+
+void fft_radix2_stage(double* __restrict a, int n, int m,
+                      const double* __restrict tw) {
+  const int m2 = 2 * m;  // doubles per sub-transform
+  for (int b2 = 0; b2 < 2 * n; b2 += 2 * m2) {
+    double* __restrict p0 = a + b2;
+    double* __restrict p1 = p0 + m2;
+    for (int q2 = 0; q2 < m2; q2 += 2) {
+      const double ure = p0[q2], uim = p0[q2 + 1];
+      const double vre = p1[q2], vim = p1[q2 + 1];
+      const double wre = tw[q2], wim = tw[q2 + 1];
+      // Complex multiply in std::complex's order: (ac - bd, ad + bc).
+      const double tre = vre * wre - vim * wim;
+      const double tim = vre * wim + vim * wre;
+      p0[q2] = ure + tre;
+      p0[q2 + 1] = uim + tim;
+      p1[q2] = ure - tre;
+      p1[q2 + 1] = uim - tim;
+    }
+  }
+}
+
+void fft_radix4_stage(double* __restrict a, int n, int m,
+                      const double* __restrict tw1,
+                      const double* __restrict tw2,
+                      const double* __restrict tw3, bool inverse) {
+  const int m2 = 2 * m;
+  for (int b2 = 0; b2 < 2 * n; b2 += 4 * m2) {
+    double* __restrict p0 = a + b2;
+    double* __restrict p1 = p0 + m2;
+    double* __restrict p2 = p1 + m2;
+    double* __restrict p3 = p2 + m2;
+    for (int q2 = 0; q2 < m2; q2 += 2) {
+      const double x0re = p0[q2], x0im = p0[q2 + 1];
+      const double w1re = tw1[q2], w1im = tw1[q2 + 1];
+      const double w2re = tw2[q2], w2im = tw2[q2 + 1];
+      const double w3re = tw3[q2], w3im = tw3[q2 + 1];
+      const double x1re = p1[q2] * w1re - p1[q2 + 1] * w1im;
+      const double x1im = p1[q2] * w1im + p1[q2 + 1] * w1re;
+      const double x2re = p2[q2] * w2re - p2[q2 + 1] * w2im;
+      const double x2im = p2[q2] * w2im + p2[q2 + 1] * w2re;
+      const double x3re = p3[q2] * w3re - p3[q2 + 1] * w3im;
+      const double x3im = p3[q2] * w3im + p3[q2 + 1] * w3re;
+      const double t0re = x0re + x2re, t0im = x0im + x2im;
+      const double t1re = x0re - x2re, t1im = x0im - x2im;
+      const double t2re = x1re + x3re, t2im = x1im + x3im;
+      const double dre = x1re - x3re, dim = x1im - x3im;
+      // forward: -i*d = (d.im, -d.re); inverse: +i*d = (-d.im, d.re).
+      const double jdre = inverse ? -dim : dim;
+      const double jdim = inverse ? dre : -dre;
+      p0[q2] = t0re + t2re;
+      p0[q2 + 1] = t0im + t2im;
+      p1[q2] = t1re + jdre;
+      p1[q2 + 1] = t1im + jdim;
+      p2[q2] = t0re - t2re;
+      p2[q2 + 1] = t0im - t2im;
+      p3[q2] = t1re - jdre;
+      p3[q2 + 1] = t1im - jdim;
+    }
+  }
+}
+
+}  // namespace
+
+const KernelOps& scalar_ops() {
+  static const KernelOps ops{flux_row,        advect_update_row,
+                             stencil7_interior, pointwise_panel,
+                             daxpy,           ddot,
+                             longwave_exchange, fft_radix2_stage,
+                             fft_radix4_stage};
+  return ops;
+}
+
+}  // namespace agcm::simd::detail

@@ -2,6 +2,8 @@
 
 #include <cstddef>
 
+#include "kernels/simd/dispatch.hpp"
+
 namespace agcm::kernels {
 
 namespace {
@@ -13,29 +15,6 @@ inline std::size_t idx3(int i, int j, int k, int n) {
               static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
 }
 
-/// out[i] += f[i+1] + f[i-1] + fjp[i] + fjm[i] + fkp[i] + fkm[i] - 6 f[i]
-/// over the branch-free interior i in [1, n-1); the seed expression tree
-/// per point, 4-wide unrolled.
-inline void separate_row_interior(int n, const double* __restrict f,
-                                  const double* __restrict fjp,
-                                  const double* __restrict fjm,
-                                  const double* __restrict fkp,
-                                  const double* __restrict fkm,
-                                  double* __restrict out) {
-#define AGCM_LAP7(p)                                                  \
-  out[(p)] += f[(p) + 1] + f[(p) - 1] + fjp[(p)] + fjm[(p)] +         \
-              fkp[(p)] + fkm[(p)] - 6.0 * f[(p)]
-  int i = 1;
-  for (; i + 4 <= n - 1; i += 4) {
-    AGCM_LAP7(i);
-    AGCM_LAP7(i + 1);
-    AGCM_LAP7(i + 2);
-    AGCM_LAP7(i + 3);
-  }
-  for (; i < n - 1; ++i) AGCM_LAP7(i);
-#undef AGCM_LAP7
-}
-
 }  // namespace
 
 void laplace_sum_separate_engine(const singlenode::SeparateFields& in,
@@ -43,6 +22,12 @@ void laplace_sum_separate_engine(const singlenode::SeparateFields& in,
   const int n = in.n;
   out.assign(static_cast<std::size_t>(n) * n * n, 0.0);
   double* __restrict o = out.data();
+  // Interior rows go through the dispatched 7-point kernel (CONTRACTED:
+  // independent per-point updates, bitwise on every tier). The block-layout
+  // engine below does NOT dispatch: its inner loop is one sequential
+  // accumulator over the m fields per point, and lane-splitting that sum
+  // would reassociate it (docs/kernels.md, frozen-artefact rule).
+  const simd::KernelOps& ops = simd::ops();
   // Field order (q outer) matches the seed so every output point
   // accumulates its field contributions in the same sequence.
   for (int q = 0; q < in.m; ++q) {
@@ -64,7 +49,9 @@ void laplace_sum_separate_engine(const singlenode::SeparateFields& in,
         if (n > 1) {
           orow[n - 1] += fr[0] + fr[n - 2] + fjp[n - 1] + fjm[n - 1] +
                          fkp[n - 1] + fkm[n - 1] - 6.0 * fr[n - 1];
-          separate_row_interior(n, fr, fjp, fjm, fkp, fkm, orow);
+          // Branch-free interior i in [1, n-1), centered on element 1.
+          ops.stencil7_interior(n - 2, fr + 1, fjp + 1, fjm + 1, fkp + 1,
+                                fkm + 1, orow + 1);
         }
       }
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "kernels/simd/dispatch.hpp"
 #include "util/error.hpp"
 
 namespace agcm::singlenode {
@@ -76,6 +77,17 @@ double ddot_unrolled(std::span<const double> x, std::span<const double> y) {
   double acc = (a0 + a1) + (a2 + a3);
   for (; i < x.size(); ++i) acc += x[i] * y[i];
   return acc;
+}
+
+void daxpy_dispatch(double alpha, std::span<const double> x,
+                    std::span<double> y) {
+  AGCM_ASSERT(x.size() == y.size());
+  simd::ops().daxpy(x.size(), alpha, x.data(), y.data());
+}
+
+double ddot_dispatch(std::span<const double> x, std::span<const double> y) {
+  AGCM_ASSERT(x.size() == y.size());
+  return simd::ops().ddot(x.size(), x.data(), y.data());
 }
 
 void dcopy_strided(std::size_t n, const double* x, std::ptrdiff_t incx,

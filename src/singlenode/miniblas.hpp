@@ -26,6 +26,22 @@ void daxpy_unrolled(double alpha, std::span<const double> x,
 double ddot(std::span<const double> x, std::span<const double> y);
 double ddot_unrolled(std::span<const double> x, std::span<const double> y);
 
+// --- SIMD-dispatched variants (kernels/simd/dispatch.hpp) ---------------
+
+/// daxpy through the dispatch table. CONTRACTED: bitwise identical to
+/// daxpy/daxpy_unrolled on every tier (independent mul-then-add per
+/// point) — safe anywhere, including frozen paths.
+void daxpy_dispatch(double alpha, std::span<const double> x,
+                    std::span<double> y);
+
+/// ddot through the dispatch table. REDUCTION: SIMD tiers use lane
+/// accumulators, so the sum is reassociated (ulp-bounded vs ddot). Do NOT
+/// substitute it on frozen-artefact paths — the FilterBank convolution and
+/// anything feeding the virtual clock keep the sequential ddot/ddot_strided
+/// (docs/kernels.md, frozen-artefact rule). Equals ddot bit for bit under
+/// a forced-scalar tier.
+double ddot_dispatch(std::span<const double> x, std::span<const double> y);
+
 // --- strided (BLAS inc-style) variants ----------------------------------
 //
 // The kernel engine's contribution to this file (docs/kernels.md): the

@@ -1,5 +1,6 @@
 #include "singlenode/pointwise.hpp"
 
+#include "kernels/simd/dispatch.hpp"
 #include "util/error.hpp"
 
 namespace agcm::singlenode {
@@ -54,6 +55,17 @@ void pointwise_multiply_unrolled(std::span<const double> a,
     }
     for (; q < m; ++q) op[q] = ap[q] * b[q];
   }
+}
+
+void pointwise_multiply_dispatch(std::span<const double> a,
+                                 std::span<const double> b,
+                                 std::span<double> out) {
+  validate(a, b, out);
+  const simd::KernelOps& ops = simd::ops();
+  const std::size_t m = b.size();
+  const std::size_t panels = a.size() / m;
+  for (std::size_t p = 0; p < panels; ++p)
+    ops.pointwise_panel(m, a.data() + p * m, b.data(), out.data() + p * m);
 }
 
 double pointwise_multiply_flops(std::size_t n) {

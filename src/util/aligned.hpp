@@ -1,0 +1,43 @@
+// Over-aligned allocation, shared by the layers that feed SIMD kernels.
+//
+// Originally private to grid/array3d.hpp; hoisted into util so the FFT
+// twiddle tables and workspace scratch (fft/) can use the same 64-byte
+// alignment as the field arrays without linking grid (agcm_fft depends on
+// agcm_util only — see src/CMakeLists.txt for the layering).
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace agcm::util {
+
+/// Minimal std::allocator drop-in that over-aligns every block to `Align`
+/// bytes via the aligned operator new (so allocation-counting tests that
+/// hook the global operators still see these allocations).
+template <typename T, std::size_t Align>
+struct AlignedAllocator {
+  using value_type = T;
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Align});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace agcm::util

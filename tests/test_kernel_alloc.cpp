@@ -31,6 +31,7 @@
 #include "grid/array3d.hpp"
 #include "grid/decomp.hpp"
 #include "grid/latlon.hpp"
+#include "kernels/simd/dispatch.hpp"
 #include "physics/column.hpp"
 #include "physics/physics.hpp"
 #include "simnet/machine.hpp"
@@ -113,16 +114,26 @@ TEST(KernelAllocFree, AdvectionEngineAfterWarmup) {
   const Array3D<double> h_new = state.h;
   Array3D<double>* tracers[] = {&state.theta, &state.q};
 
-  // Warm: first call grows the workspace to this shape.
-  dynamics::advect_tracers_optimized(g, box, metrics, state.h, h_new,
-                                     state.u, state.v, tracers, 450.0);
-  const std::size_t before = allocs();
-  for (int it = 0; it < 3; ++it) {
+  // The warm engine must stay off the heap on every SIMD dispatch tier the
+  // host offers, not just the auto-selected one (the tiers share one
+  // workspace, so switching must not trigger regrowth).
+  for (simd::Tier tier : {simd::Tier::kScalar, simd::Tier::kAvx2,
+                          simd::Tier::kAvx512}) {
+    if (!simd::tier_supported(tier)) continue;
+    SCOPED_TRACE(simd::tier_name(tier));
+    ASSERT_TRUE(simd::force_tier(tier));  // outside the counted window
+    // Warm: first call grows the workspace to this shape.
     dynamics::advect_tracers_optimized(g, box, metrics, state.h, h_new,
                                        state.u, state.v, tracers, 450.0);
+    const std::size_t before = allocs();
+    for (int it = 0; it < 3; ++it) {
+      dynamics::advect_tracers_optimized(g, box, metrics, state.h, h_new,
+                                         state.u, state.v, tracers, 450.0);
+    }
+    EXPECT_EQ(allocs() - before, 0u)
+        << "warm advection engine touched the heap";
   }
-  EXPECT_EQ(allocs() - before, 0u)
-      << "warm advection engine touched the heap";
+  simd::reset_tier();
 }
 
 TEST(KernelAllocFree, ColumnPhysicsAfterWarmup) {

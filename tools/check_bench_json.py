@@ -52,6 +52,26 @@ REQUIRED_FIELDS = {
         "gate_physics_speedup_min": float,
         "gates_passed": bool,
     },
+    # Only the fields common to both modes: --check-only (CI determinism
+    # fence) omits the host speedup numbers; full mode adds
+    # advection_speedup/pointwise_speedup (or speed_gates_skipped when the
+    # host tops out at the scalar tier).
+    "simd_dispatch": {
+        "mode": str,
+        "active_tier": str,
+        "detected_tier": str,
+        "tiers_checked": float,
+        "advection_bitwise_identical": bool,
+        "pointwise_bitwise_identical": bool,
+        "stencil_bitwise_identical": bool,
+        "daxpy_bitwise_identical": bool,
+        "forced_scalar_bitwise_identical": bool,
+        "ddot_max_ulp": float,
+        "longwave_max_ulp": float,
+        "fft_max_ulp": float,
+        "gate_speedup_min": float,
+        "gates_passed": bool,
+    },
     "stencil_layout": {
         "paper_anchor_paragon": float,
         "paper_anchor_t3d": float,
@@ -123,6 +143,12 @@ def check_required_fields(path: str, doc: dict) -> str:
             f"{doc['advection_bitwise_identical'] and doc['physics_bitwise_identical']}"
             f", gates_passed={doc['gates_passed']}"
         )
+    if doc["bench"] == "simd_dispatch":
+        return (
+            f", mode={doc['mode']}, active={doc['active_tier']}, bitwise="
+            f"{doc['advection_bitwise_identical'] and doc['pointwise_bitwise_identical']}"
+            f", gates_passed={doc['gates_passed']}"
+        )
     if doc["bench"] == "simnet_sched":
         return (
             f", P=64 fibers {doc['p64_speedup']:.2f}x threads, virtual "
@@ -137,6 +163,27 @@ def check_required_fields(path: str, doc: dict) -> str:
             f"all_pass={doc['all_pass']}"
         )
     return f", {len(required)} required fields present"
+
+
+def check_simd_dispatch_block(path: str, block: object) -> None:
+    """The per-host SIMD dispatch metadata every bench JSON now carries
+    (bench_common.hpp). Host-dependent by design — perf_diff.py ignores it
+    when comparing runs."""
+    if not isinstance(block, dict):
+        fail(path, "'simd_dispatch' must be an object")
+    tiers = ("scalar", "avx2", "avx512")
+    for key in ("active_tier", "detected_tier"):
+        if block.get(key) not in tiers:
+            fail(path, f"simd_dispatch.{key} must be one of {tiers}")
+    for key in ("env_override", "built_avx2", "built_avx512"):
+        if not isinstance(block.get(key), bool):
+            fail(path, f"simd_dispatch.{key} must be bool")
+    for key in ("cpu_features", "demoted_families"):
+        value = block.get(key)
+        if not isinstance(value, list) or not all(
+            isinstance(s, str) for s in value
+        ):
+            fail(path, f"simd_dispatch.{key} must be a list of strings")
 
 
 def check_table(path: str, i: int, table: object) -> None:
@@ -185,6 +232,8 @@ def check_bench(path: str, doc: dict) -> str:
                     fail(path, f"phases[{i}] missing '{key}'")
     if "metrics" in doc and not isinstance(doc["metrics"], dict):
         fail(path, "'metrics' must be an object")
+    if "simd_dispatch" in doc:
+        check_simd_dispatch_block(path, doc["simd_dispatch"])
     extra = check_required_fields(path, doc)
     return f"bench '{doc['bench']}', {len(tables)} table(s){extra}"
 

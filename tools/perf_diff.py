@@ -18,6 +18,9 @@ baseline policy can be aggressive:
 
 Paths can be excluded with --ignore REGEX (matched against the dotted path,
 e.g. "metrics\\..*\\.mean") for fields that are legitimately host-dependent.
+The `simd_dispatch` metadata block every bench JSON carries (active tier,
+CPU feature list — see docs/kernels.md) is host-dependent by construction
+and is always ignored.
 
 Usage:
   perf_diff.py BASELINE FRESH [--rtol 1e-9] [--ignore REGEX ...]
@@ -33,6 +36,12 @@ import math
 import re
 import shutil
 import sys
+
+
+# Always-ignored paths: metadata that legitimately differs between hosts
+# (and between a baseline committed before the field existed and a fresh
+# artefact that carries it).
+DEFAULT_IGNORES = [r"\.simd_dispatch(\.|\[|$)"]
 
 
 def is_integral(x):
@@ -69,11 +78,17 @@ def diff(baseline, fresh, path, rtol, ignores, failures):
         failures.append(f"{path}: kind {kb} -> {kf}")
         return
     if kb == "object":
+        # Consult the ignore list for the *child* path before reporting a
+        # missing/new field — an ignored subtree may legitimately exist on
+        # one side only (e.g. simd_dispatch vs a pre-existing baseline).
+        def ignored(child):
+            return any(rx.search(child) for rx in ignores)
+
         for key in baseline:
-            if key not in fresh:
+            if key not in fresh and not ignored(f"{path}.{key}"):
                 failures.append(f"{path}.{key}: missing in fresh artefact")
         for key in fresh:
-            if key not in baseline:
+            if key not in baseline and not ignored(f"{path}.{key}"):
                 failures.append(f"{path}.{key}: not in baseline (new field; "
                                 "re-baseline with --update)")
         for key in baseline:
@@ -135,7 +150,7 @@ def main():
               file=sys.stderr)
         return 2
 
-    ignores = [re.compile(p) for p in args.ignore]
+    ignores = [re.compile(p) for p in DEFAULT_IGNORES + args.ignore]
     failures = []
     diff(baseline, fresh, "$", args.rtol, ignores, failures)
 
