@@ -1,0 +1,398 @@
+// Three-way polar-filter crossover study + self-gates for the partitioned
+// overlap-save streaming backend (src/filter/partition.hpp,
+// docs/filter.md). Extends the Tables 8-11 conv-vs-FFT study with the
+// third contender:
+//
+//  1. Block-size selection metadata and the deterministic cost model,
+//     three ways (direct conv / whole-line FFT / partitioned OLS) across
+//     resolutions, with both model-level crossover points.
+//  2. Partitioned-vs-direct equivalence sweep at awkward shapes, reported
+//     as a max-ulp envelope (mirrors tests/test_filter_partition.cpp).
+//  3. The Tables 8-11 methodology re-run three-way in virtual time on the
+//     1x4 T3D mesh: conv-ring vs fft-transpose vs conv-partitioned per
+//     apply, per resolution — the published crossover table.
+//  4. A PMNF fit (src/perfmodel/) of the streaming cost series — fixed
+//     kernel length, growing period — which must select a <= x*log-class
+//     model with r2 > 0.999 (the backend's bounded-latency linear-cost
+//     claim; the conv ~x^1.75-2 domination verdict lives in
+//     bench_scaling_model, which fits both backends from virtual time).
+//  5. Host-measured speedup gate: the partitioned engine must beat direct
+//     convolution by >= 1.5x at long responses (nlon >= 576). Skipped
+//     under --check-only, where the JSON carries only deterministic
+//     fields and must be byte-identical run to run (CI determinism
+//     fence).
+//
+// Self-gating: any failed gate exits non-zero after writing the JSON.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "comm/mesh2d.hpp"
+#include "dynamics/dynamics.hpp"
+#include "filter/partition.hpp"
+#include "filter/serial.hpp"
+#include "filter/variants.hpp"
+#include "perfmodel/report.hpp"
+#include "simnet/machine.hpp"
+#include "util/rng.hpp"
+
+namespace agcm {
+namespace {
+
+using bench::print_header;
+using bench::print_note;
+
+bool g_check_only = false;
+
+constexpr double kGateSpeedupMin = 1.5;   ///< host gate vs direct conv
+constexpr double kUlpEnvelope = 4096.0;   ///< equivalence envelope (ulps)
+constexpr int kSweepNlat = 90;            ///< matches bench_scaling_model
+constexpr int kSweepNlev = 4;
+constexpr int kTimedApplies = 1;          ///< per cell, after 1 warm apply
+
+double conv_model(int n) { return filter::convolution_filter_flops(n); }
+double fft_model(int n) { return filter::fft_filter_flops(n); }
+double partition_model(int n) {
+  return filter::PartitionPlan::make(n, n).flops();
+}
+
+// --- Part 1: cost model, three ways ---------------------------------------
+
+/// Smallest scanned n from which `lhs` stays strictly cheaper than `rhs`
+/// for the rest of the scan range (0 if it never does).
+int crossover_scan(double (*lhs)(int), double (*rhs)(int)) {
+  int crossover = 0;
+  for (int n = 16; n <= 2304; n += 16) {
+    if (lhs(n) < rhs(n)) {
+      if (crossover == 0) crossover = n;
+    } else {
+      crossover = 0;
+    }
+  }
+  return crossover;
+}
+
+// --- Part 2: equivalence sweep --------------------------------------------
+
+double max_abs(std::span<const double> v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double ulp_diff(double a, double b, double scale) {
+  const double ulp =
+      std::nextafter(scale, std::numeric_limits<double>::infinity()) - scale;
+  return std::abs(a - b) / ulp;
+}
+
+/// One equivalence case: random kernel/line, streaming engine vs direct
+/// reference, max deviation in ulps of the reference magnitude.
+double equivalence_case(std::uint64_t seed, int n, int taps, int block) {
+  Rng rng(seed);
+  std::vector<double> kernel(static_cast<std::size_t>(taps));
+  for (double& x : kernel) x = rng.uniform(-0.5, 0.5);
+  std::vector<double> line(static_cast<std::size_t>(n));
+  for (double& x : line) x = rng.uniform(-1.0, 1.0);
+  std::vector<double> reference = line;
+  filter::convolve_circular_direct(kernel, reference);
+
+  const filter::PartitionedKernel pk(kernel, n, block);
+  filter::filter_line_partition(pk, line);
+
+  const double scale = std::max(1.0, max_abs(reference));
+  double worst = 0.0;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    worst = std::max(worst, ulp_diff(line[i], reference[i], scale));
+  }
+  return worst;
+}
+
+// --- Part 3: three-way virtual-time study ---------------------------------
+
+/// Per-apply max-rank virtual seconds of the whole filter phase for each
+/// algorithm, Tables 8-11 methodology (1 x cols T3D mesh).
+std::map<std::string, double> run_virtual_cell(
+    int nlon, int cols, const std::vector<filter::FilterAlgorithm>& algos) {
+  simnet::Machine machine(simnet::MachineProfile::cray_t3d());
+  machine.set_recv_timeout_ms(600'000);
+  trace::Tracer::instance().begin_run(cols);
+
+  machine.run(cols, [&](simnet::RankContext& ctx) {
+    comm::Communicator world(ctx);
+    comm::Mesh2D mesh(world, 1, cols);
+    const grid::LatLonGrid grid(nlon, kSweepNlat, kSweepNlev);
+    const grid::Decomp2D decomp(nlon, kSweepNlat, 1, cols);
+    const auto box = decomp.box(mesh.coord());
+
+    const filter::FilterBank bank(grid,
+                                  dynamics::Dynamics::filtered_variables());
+    dynamics::State state(box, kSweepNlev);
+    dynamics::initialize_state(state, grid, box, 1996);
+    grid::Array3D<double>* fields[] = {&state.u, &state.v, &state.h,
+                                       &state.theta, &state.q};
+
+    for (const filter::FilterAlgorithm algo : algos) {
+      auto filter = filter::make_filter(algo, mesh, decomp, bank);
+      filter->apply(fields);  // warm apply (traced; divided out below)
+      world.barrier();
+      for (int s = 0; s < kTimedApplies; ++s) {
+        filter->apply(fields);
+        world.barrier();
+      }
+    }
+  });
+
+  std::map<std::string, double> out;
+  for (const auto& phase : trace::aggregate_phases(trace::Tracer::instance()))
+    out[phase.name] = phase.max_rank_sec / (1.0 + kTimedApplies);
+  return out;
+}
+
+// --- Part 5: host-measured speedup gate -----------------------------------
+
+/// Best-of-trials host seconds for `reps` calls of `fn`.
+template <typename Fn>
+double best_host_seconds(int trials, int reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int t = 0; t < trials; ++t) {
+    bench::Stopwatch sw;
+    for (int r = 0; r < reps; ++r) fn();
+    best = std::min(best, sw.seconds() / reps);
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace agcm
+
+int main(int argc, char** argv) {
+  using namespace agcm;
+  // --check-only: deterministic fields only (no host timings), for the CI
+  // byte-identity determinism fence. Strip before the common parser.
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check-only") == 0) {
+      g_check_only = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  auto opts = bench::BenchOptions::parse(static_cast<int>(args.size()),
+                                         args.data(), "filter_partition");
+  bench::JsonReport report(opts);
+  bench::g_report = &report;
+  report.set("mode", std::string(g_check_only ? "check-only" : "full"));
+
+  print_header(
+      "Partitioned overlap-save filtering: three-way crossover + gates");
+  print_note(
+      "Direct convolution (O(n^2) per line) vs whole-line FFT (O(n log n))\n"
+      "vs uniform-partitioned overlap-save (block FFTs of length 2B against\n"
+      "cached kernel partitions). Gates: partitioned == direct within the\n"
+      "ulp envelope, a <= x*log-class PMNF fit with r2 > 0.999, and (full\n"
+      "mode) >= 1.5x measured over direct convolution at nlon >= 576.\n");
+
+  bool all_gates = true;
+
+  // --- Part 1: block-size selection and the cost model three ways ----------
+  {
+    Table table("Cost model, three ways (L = nlon; partitioned B auto)",
+                {"nlon", "B", "2B", "P", "hops", "conv flops", "fft flops",
+                 "partition flops", "model winner"});
+    for (int n : {48, 96, 144, 288, 576, 1152, 2304}) {
+      const filter::PartitionPlan plan = filter::PartitionPlan::make(n, n);
+      const double conv = conv_model(n);
+      const double fft = fft_model(n);
+      const double part = partition_model(n);
+      const char* winner = conv <= fft && conv <= part ? "conv"
+                           : fft <= part              ? "fft"
+                                                      : "partition";
+      table.add_row({Table::num(n, 0), Table::num(plan.block, 0),
+                     Table::num(plan.fft_size, 0), Table::num(plan.nparts, 0),
+                     Table::num(plan.nblocks, 0), Table::num(conv, 0),
+                     Table::num(fft, 0), Table::num(part, 0), winner});
+    }
+    bench::emit_table(table);
+  }
+
+  const filter::PartitionPlan plan144 = filter::PartitionPlan::make(144, 144);
+  const filter::PartitionPlan plan576 = filter::PartitionPlan::make(576, 576);
+  report.set("block_nlon144", plan144.block);
+  report.set("block_nlon576", plan576.block);
+  report.set("fft_size_nlon576", plan576.fft_size);
+  report.set("nparts_nlon576", plan576.nparts);
+  report.set("nblocks_nlon576", plan576.nblocks);
+
+  const int cross_part_conv = crossover_scan(partition_model, conv_model);
+  const int cross_fft_conv = crossover_scan(fft_model, conv_model);
+  std::printf(
+      "  model crossovers vs direct convolution: fft from nlon %d, "
+      "partitioned from nlon %d\n\n",
+      cross_fft_conv, cross_part_conv);
+  report.set("model_crossover_fft_vs_conv_nlon", cross_fft_conv);
+  report.set("model_crossover_partition_vs_conv_nlon", cross_part_conv);
+  // The headline claim: the partitioned model must win from 576 on (the
+  // paper's largest filtering study resolution is 144; 576 is the "long
+  // response" regime the gate targets).
+  const bool crossover_ok = cross_part_conv > 0 && cross_part_conv <= 576;
+  if (!crossover_ok) all_gates = false;
+
+  // --- Part 2: equivalence sweep (deterministic) ---------------------------
+  {
+    struct Case {
+      int n, taps, block;
+    };
+    const Case cases[] = {
+        {5, 3, 0},      {7, 7, 0},      {17, 40, 0},   {31, 8, 16},
+        {33, 20, 16},   {47, 20, 16},   {48, 48, 16},  {97, 97, 0},
+        {144, 144, 0},  {144, 300, 0},  {149, 149, 0}, {144, 144, 36},
+        {576, 576, 0},  {576, 900, 0},
+    };
+    double worst = 0.0;
+    int count = 0;
+    for (const Case& c : cases) {
+      const std::uint64_t seed =
+          0x9e3779b97f4a7c15ULL ^
+          static_cast<std::uint64_t>(c.n * 1000003 + c.taps * 101 + c.block);
+      worst = std::max(worst, equivalence_case(seed, c.n, c.taps, c.block));
+      ++count;
+    }
+    const bool equiv_pass = worst < kUlpEnvelope;
+    std::printf(
+        "  equivalence sweep: %d awkward-shape cases, max deviation %.1f "
+        "ulps (envelope %.0f) [%s]\n\n",
+        count, worst, kUlpEnvelope, equiv_pass ? "PASS" : "FAIL");
+    report.set("equiv_cases", count);
+    report.set("equiv_max_ulp", worst);
+    report.set("equiv_ulp_envelope", kUlpEnvelope);
+    report.set("equiv_pass", equiv_pass);
+    if (!equiv_pass) all_gates = false;
+  }
+
+  // --- Part 3: three-way virtual-time crossover (Tables 8-11 extended) -----
+  double virtual_speedup_576 = 0.0;
+  {
+    trace::set_enabled(true);
+    Table table(
+        "Three-way filter study, 1x4 T3D mesh (virtual s/apply, "
+        "max rank)",
+        {"nlon", "conv-ring", "fft-transpose", "conv-partitioned",
+         "partitioned/conv", "winner"});
+    for (int nlon : {96, 144, 288, 576}) {
+      const auto phases = run_virtual_cell(
+          nlon, 4,
+          {filter::FilterAlgorithm::kConvolutionRing,
+           filter::FilterAlgorithm::kFftTranspose,
+           filter::FilterAlgorithm::kConvolutionPartitioned});
+      const double conv = phases.at("filter.convolution-ring");
+      const double fft = phases.at("filter.fft-transpose");
+      const double part = phases.at("filter.convolution-partitioned");
+      const double speedup = conv / part;
+      const char* winner = conv <= fft && conv <= part ? "conv-ring"
+                           : fft <= part              ? "fft-transpose"
+                                                      : "partitioned";
+      if (nlon == 576) virtual_speedup_576 = speedup;
+      table.add_row({Table::num(nlon, 0), Table::num(conv, 6),
+                     Table::num(fft, 6), Table::num(part, 6),
+                     Table::num(speedup, 2), winner});
+    }
+    trace::set_enabled(false);
+    bench::emit_table(table);
+  }
+  const bool virtual_gate = virtual_speedup_576 >= kGateSpeedupMin;
+  std::printf(
+      "  virtual-time speedup over conv-ring at nlon 576: %.2fx (gate >= "
+      "%.1fx) [%s]\n\n",
+      virtual_speedup_576, kGateSpeedupMin, virtual_gate ? "PASS" : "FAIL");
+  report.set("virtual_partition_vs_conv_speedup_nlon576", virtual_speedup_576);
+  report.set("partition_wins_three_way_at_nlon576", virtual_gate);
+  if (!virtual_gate) all_gates = false;
+
+  // --- Part 4: PMNF fit of the streaming cost series -----------------------
+  {
+    // The streaming claim: with the kernel length fixed (L = 144 taps,
+    // B = 64 forced so the small-FFT core is pinned), the per-line cost
+    // must be linear in the period — the bounded-latency property that
+    // distinguishes this backend from the whole-line FFT. The series is
+    // the deterministic cost model the virtual clock charges; the class
+    // windows are enforced by the perfmodel verdict.
+    perfmodel::Series series{"filter.partition-stream", "period",
+                             "model_flops", {}, {}};
+    for (int x = 576; x <= 4608; x += 576) {
+      series.add(x, filter::PartitionPlan::make(x, 144, 64).flops());
+    }
+    perfmodel::Expectation expect;
+    expect.expected =
+        "~ x (streaming OLS: fixed L and B, cost linear in the period)";
+    expect.min_a = 0.75;
+    expect.max_a = 1.0;
+    expect.min_b = 0;
+    expect.max_b = 1;
+    expect.min_r2 = 0.999;
+    const perfmodel::PhaseModel model =
+        perfmodel::analyze(std::move(series), expect);
+    std::printf("  PMNF fit %s -> %s (r2 %.6f) [%s] %s\n\n",
+                model.series.phase.c_str(), model.fit.label().c_str(),
+                model.fit.r2, model.verdict.pass ? "PASS" : "FAIL",
+                model.verdict.reason.c_str());
+    report.set("fit_partition_exponent_a", model.fit.hyp.a);
+    report.set("fit_partition_log_power_b", model.fit.hyp.b);
+    report.set("fit_partition_r2", model.fit.r2);
+    report.set("fit_partition_pass", model.verdict.pass);
+    if (!model.verdict.pass) all_gates = false;
+  }
+
+  // --- Part 5: host-measured speedup gate (full mode only) -----------------
+  report.set("gate_speedup_min", kGateSpeedupMin);
+  if (!g_check_only) {
+    Table table("Host time per line, direct conv vs partitioned (L = nlon)",
+                {"nlon", "conv ms", "partitioned ms", "speedup", "gate"});
+    bool host_pass = true;
+    for (int n : {288, 576, 1152}) {
+      Rng rng(2026);
+      std::vector<double> kernel(static_cast<std::size_t>(n));
+      for (double& x : kernel) x = rng.uniform(-0.5, 0.5);
+      std::vector<double> line(static_cast<std::size_t>(n));
+      for (double& x : line) x = rng.uniform(-1.0, 1.0);
+      const filter::PartitionedKernel pk(kernel, n);
+
+      // Warm both paths (workspace growth), then best-of-5.
+      filter::filter_line_convolution(line, kernel);
+      filter::filter_line_partition(pk, line);
+      const double conv_sec = best_host_seconds(
+          5, 8, [&] { filter::filter_line_convolution(line, kernel); });
+      const double part_sec = best_host_seconds(
+          5, 8, [&] { filter::filter_line_partition(pk, line); });
+      const double speedup = conv_sec / part_sec;
+      const bool gated = n >= 576;
+      const bool pass = !gated || speedup >= kGateSpeedupMin;
+      if (!pass) host_pass = false;
+      table.add_row({Table::num(n, 0), Table::num(conv_sec * 1e3, 4),
+                     Table::num(part_sec * 1e3, 4), Table::num(speedup, 2),
+                     gated ? (pass ? "PASS" : "FAIL") : "-"});
+      if (n == 576) report.set("host_speedup_nlon576", speedup);
+      if (n == 1152) report.set("host_speedup_nlon1152", speedup);
+    }
+    bench::emit_table(table);
+    report.set("host_gate_pass", host_pass);
+    if (!host_pass) all_gates = false;
+  }
+
+  report.set("gates_passed", all_gates);
+  report.finish();
+
+  if (!all_gates) {
+    std::fprintf(stderr, "filter-partition gate FAILED (see above)\n");
+    return 1;
+  }
+  print_note("filter-partition gates PASSED.");
+  return 0;
+}

@@ -8,7 +8,9 @@
 //    FFT spectral stage ("filter.fft-lines") must fit ~x*log2(x) — and
 //    the convolution exponent must asymptotically dominate the FFT one,
 //    which is the paper's entire argument for the filter rewrite
-//    (Section 3.2, Tables 8-11).
+//    (Section 3.2, Tables 8-11). The partitioned overlap-save backend
+//    ("filter.partition-lines", docs/filter.md) rides the same sweep and
+//    must land in a quasi-linear class that convolution also dominates.
 //
 //  Sweep B (ranks): with nlon fixed at 144, sweep the mesh width P in
 //    {2..16} and fit the per-rank *message count* of the FFT filter
@@ -253,16 +255,23 @@ int main(int argc, char** argv) {
                                 "max_rank_sec", {}, {}};
   perfmodel::Series fft_series{"filter.fft-lines", "nlon", "max_rank_sec",
                                {}, {}};
+  perfmodel::Series partition_series{"filter.partition-lines", "nlon",
+                                     "max_rank_sec", {}, {}};
   for (const int nlon : nlons) {
     const FilterCell cell = run_filter_cell(
         nlon, 4,
         {filter::FilterAlgorithm::kConvolutionRing,
-         filter::FilterAlgorithm::kFftTranspose},
+         filter::FilterAlgorithm::kFftTranspose,
+         filter::FilterAlgorithm::kConvolutionPartitioned},
         sink);
     conv_series.add(nlon, cell.phases.at("filter.convolution-ring"));
     fft_series.add(nlon, cell.phases.at("filter.fft-lines"));
-    std::printf("  nlon %3d: conv %.6f s  fft-lines %.6f s  (per apply)\n",
-                nlon, conv_series.y.back(), fft_series.y.back());
+    partition_series.add(nlon, cell.phases.at("filter.partition-lines"));
+    std::printf(
+        "  nlon %3d: conv %.6f s  fft-lines %.6f s  partition-lines %.6f s  "
+        "(per apply)\n",
+        nlon, conv_series.y.back(), fft_series.y.back(),
+        partition_series.y.back());
   }
   std::printf("\n");
 
@@ -288,10 +297,25 @@ int main(int argc, char** argv) {
   fft_expect.max_b = 2;
   fft_expect.min_r2 = 0.97;
 
+  // The partitioned backend at L = nlon: the auto-selected block grows
+  // roughly with nlon, so the optimum cost stays in the quasi-linear
+  // x*log class — the window admits the same grid neighbourhood as the
+  // whole-line FFT, just shifted by the block-selection staircase.
+  perfmodel::Expectation partition_expect;
+  partition_expect.expected =
+      "~ x log2(x) (partitioned overlap-save, docs/filter.md)";
+  partition_expect.min_a = 0.5;
+  partition_expect.max_a = 1.5;
+  partition_expect.min_b = 0;
+  partition_expect.max_b = 2;
+  partition_expect.min_r2 = 0.97;
+
   perfmodel::PhaseModel conv_model =
       perfmodel::analyze(std::move(conv_series), conv_expect);
   perfmodel::PhaseModel fft_model =
       perfmodel::analyze(std::move(fft_series), fft_expect);
+  perfmodel::PhaseModel partition_model =
+      perfmodel::analyze(std::move(partition_series), partition_expect);
 
   // --- Sweep B: ranks --------------------------------------------------------
   // Two decades of P (2 -> 256), feasible only because the fiber-scheduled
@@ -327,6 +351,7 @@ int main(int argc, char** argv) {
   print_note("Fitted models:");
   print_fit(conv_model);
   print_fit(fft_model);
+  print_fit(partition_model);
   print_fit(transpose_model);
   std::printf("\n");
 
@@ -342,17 +367,26 @@ int main(int argc, char** argv) {
   const bool conv_dominates =
       perfmodel::dominates(conv_model.fit.hyp, fft_model.fit.hyp) &&
       conv_model.fit.hyp.a >= fft_model.fit.hyp.a + 0.5;
+  const bool conv_dominates_partition =
+      perfmodel::dominates(conv_model.fit.hyp, partition_model.fit.hyp) &&
+      conv_model.fit.hyp.a >= partition_model.fit.hyp.a + 0.5;
   const bool imbalance_before_ok = imbalance.before >= 0.25;
   const bool imbalance_after_ok = imbalance.after <= 0.08;
 
   model_report.add_phase(conv_model);
   model_report.add_phase(fft_model);
+  model_report.add_phase(partition_model);
   model_report.add_phase(transpose_model);
   model_report.add_gate(
       "conv_dominates_fft", conv_dominates,
       "convolution class " + conv_model.fit.label() +
           " must asymptotically dominate FFT class " + fft_model.fit.label() +
           " by >= 0.5 in the power exponent");
+  model_report.add_gate(
+      "conv_dominates_partition", conv_dominates_partition,
+      "convolution class " + conv_model.fit.label() +
+          " must asymptotically dominate the partitioned overlap-save class " +
+          partition_model.fit.label() + " by >= 0.5 in the power exponent");
   model_report.add_gate(
       "imbalance_before", imbalance_before_ok,
       "pre-LB physics imbalance must be >= 25% (paper: 35-48%)");
@@ -375,9 +409,12 @@ int main(int argc, char** argv) {
   report.set("fit_conv_log_power_b", conv_model.fit.hyp.b);
   report.set("fit_fft_exponent_a", fft_model.fit.hyp.a);
   report.set("fit_fft_log_power_b", fft_model.fit.hyp.b);
+  report.set("fit_partition_exponent_a", partition_model.fit.hyp.a);
+  report.set("fit_partition_log_power_b", partition_model.fit.hyp.b);
   report.set("fit_transpose_exponent_a", transpose_model.fit.hyp.a);
   report.set("fit_transpose_log_power_b", transpose_model.fit.hyp.b);
   report.set("conv_dominates_fft", conv_dominates);
+  report.set("conv_dominates_partition", conv_dominates_partition);
   report.set("imbalance_before", imbalance.before);
   report.set("imbalance_after", imbalance.after);
   report.set("all_pass", model_report.all_pass());
@@ -391,6 +428,9 @@ int main(int argc, char** argv) {
     trace::MetricsRegistry::instance().observe("scaling.conv_cell_sec", v);
   for (const double v : fft_model.series.y)
     trace::MetricsRegistry::instance().observe("scaling.fft_cell_sec", v);
+  for (const double v : partition_model.series.y)
+    trace::MetricsRegistry::instance().observe("scaling.partition_cell_sec",
+                                               v);
   for (const double v : transpose_model.series.y)
     trace::MetricsRegistry::instance().observe("scaling.transpose_cell_msgs",
                                                v);
@@ -398,6 +438,7 @@ int main(int argc, char** argv) {
 
   bench::emit_table(series_table(conv_model));
   bench::emit_table(series_table(fft_model));
+  bench::emit_table(series_table(partition_model));
   bench::emit_table(series_table(transpose_model));
   report.finish();
 

@@ -10,6 +10,8 @@ filter::FilterAlgorithm parse_filter_algorithm(const std::string& name) {
   if (name == "convolution-tree") return FilterAlgorithm::kConvolutionTree;
   if (name == "fft-transpose") return FilterAlgorithm::kFftTranspose;
   if (name == "fft-load-balanced") return FilterAlgorithm::kFftBalanced;
+  if (name == "convolution-partitioned")
+    return FilterAlgorithm::kConvolutionPartitioned;
   if (name == "implicit-zonal") return FilterAlgorithm::kImplicitZonal;
   throw ConfigError("unknown filter_algorithm '" + name + "'");
 }

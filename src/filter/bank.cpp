@@ -17,9 +17,15 @@ FilterBank::FilterBank(const grid::LatLonGrid& grid,
   response_weak_.resize(static_cast<std::size_t>(nlat));
   kernel_strong_.resize(static_cast<std::size_t>(nlat));
   kernel_weak_.resize(static_cast<std::size_t>(nlat));
+  partition_strong_.resize(static_cast<std::size_t>(nlat));
+  partition_weak_.resize(static_cast<std::size_t>(nlat));
   kernel_once_strong_ =
       std::make_unique<std::once_flag[]>(static_cast<std::size_t>(nlat));
   kernel_once_weak_ =
+      std::make_unique<std::once_flag[]>(static_cast<std::size_t>(nlat));
+  partition_once_strong_ =
+      std::make_unique<std::once_flag[]>(static_cast<std::size_t>(nlat));
+  partition_once_weak_ =
       std::make_unique<std::once_flag[]>(static_cast<std::size_t>(nlat));
   for (int j = 0; j < nlat; ++j) {
     const double lat = grid.lat_center(j);
@@ -83,6 +89,24 @@ std::span<const double> FilterBank::kernel(int v, int j) const {
   // across rank threads in the parallel-variant tests and benches.
   std::call_once(once, [&] { kern = kernel_from_response(resp); });
   return kern;
+}
+
+const PartitionedKernel& FilterBank::partition(int v, int j) const {
+  AGCM_ASSERT(filtered(v, j));
+  const auto uj = static_cast<std::size_t>(j);
+  const bool strong =
+      variables_[static_cast<std::size_t>(v)].kind == FilterKind::kStrong;
+  std::unique_ptr<PartitionedKernel>& part =
+      strong ? partition_strong_[uj] : partition_weak_[uj];
+  std::once_flag& once =
+      strong ? partition_once_strong_[uj] : partition_once_weak_[uj];
+  // Lazy build on top of the (itself lazy) convolution kernel: nested
+  // call_once on distinct flags, so a kernel-only run never transforms
+  // partitions and a partition run builds the kernel exactly once.
+  std::call_once(once, [&] {
+    part = std::make_unique<PartitionedKernel>(kernel(v, j), grid_->nlon());
+  });
+  return *part;
 }
 
 const std::vector<LineKey>& FilterBank::lines_of(int v) const {

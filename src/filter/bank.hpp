@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "filter/partition.hpp"
 #include "filter/response.hpp"
 #include "grid/latlon.hpp"
 
@@ -64,6 +65,10 @@ class FilterBank {
   /// Equivalent convolution kernel (length nlon). Built lazily on first
   /// request for the (kind, row) pair; thread-safe on a shared const bank.
   std::span<const double> kernel(int v, int j) const;
+  /// Uniform-partitioned frequency-domain form of kernel(v, j) for the
+  /// overlap-save streaming backend (docs/filter.md). Built lazily through
+  /// the same per-(kind, row) call_once path as the kernel itself.
+  const PartitionedKernel& partition(int v, int j) const;
 
   /// All lines (var, j, k), ordered by (var, j, k). Every parallel variant
   /// schedules exactly this list, so results are comparable bit-for-bit.
@@ -82,10 +87,16 @@ class FilterBank {
   // addresses); kernels are lazy (O(nlon^2) each, convolution-only).
   std::vector<std::vector<double>> response_strong_, response_weak_;
   mutable std::vector<std::vector<double>> kernel_strong_, kernel_weak_;
+  // Partitioned-OLS spectra, keyed like the kernels (lazy: only the
+  // partitioned backend pays the per-row transform cost).
+  mutable std::vector<std::unique_ptr<PartitionedKernel>> partition_strong_,
+      partition_weak_;
   // One flag per latitude row and kind; std::once_flag is immovable, hence
-  // the arrays. Guards the lazy kernel builds above.
+  // the arrays. Guards the lazy kernel / partition builds above.
   mutable std::unique_ptr<std::once_flag[]> kernel_once_strong_;
   mutable std::unique_ptr<std::once_flag[]> kernel_once_weak_;
+  mutable std::unique_ptr<std::once_flag[]> partition_once_strong_;
+  mutable std::unique_ptr<std::once_flag[]> partition_once_weak_;
   std::vector<LineKey> lines_;
   std::vector<std::vector<LineKey>> lines_by_var_;
 };

@@ -1,0 +1,83 @@
+// The convolution-partitioned variant: row-transpose data movement (as in
+// fft_transpose.cpp) around the partitioned overlap-save streaming engine
+// (partition.hpp). See docs/filter.md for the backend's design and the
+// three-way crossover study against direct convolution and whole-line FFT.
+#include "filter/partition.hpp"
+#include "filter/serial.hpp"
+#include "filter/variants.hpp"
+#include "trace/tracer.hpp"
+#include "util/error.hpp"
+
+namespace agcm::filter {
+
+void filter_owned_lines_partition(const FilterBank& bank,
+                                  std::span<const LineKey> owned,
+                                  std::span<double> full_lines,
+                                  simnet::VirtualClock& clock) {
+  const auto nlon = static_cast<std::size_t>(bank.grid().nlon());
+  AGCM_ASSERT(full_lines.size() == owned.size() * nlon);
+
+  // Host work: the batched driver streams every line through the cached
+  // per-row partition spectra, pairing same-row lines two-for-one; it
+  // reports how many pair streams the schedule actually performed.
+  const int pairs = filter_lines_partition(bank, owned, full_lines);
+  const int singles = static_cast<int>(owned.size()) - 2 * pairs;
+
+  // Virtual-clock charging: the partitioned backend's own deterministic
+  // accounting (PartitionPlan::model_flops — NEW relative to the paper's
+  // frozen formulas; the backend is opt-in and never runs in a frozen
+  // artefact). Every line of the grid shares one plan geometry: the
+  // kernel always has nlon taps on an nlon-sample circle.
+  const PartitionPlan plan =
+      PartitionPlan::make(bank.grid().nlon(), bank.grid().nlon());
+  double flops = 0.0;
+  for (int p = 0; p < pairs; ++p) flops += plan.pair_flops();
+  for (int s = 0; s < singles; ++s) flops += plan.flops();
+  clock.compute(flops, clock.profile().loop_efficiency(bank.grid().nlon()));
+}
+
+PartitionedConvFilter::PartitionedConvFilter(const comm::Mesh2D& mesh,
+                                             const grid::Decomp2D& decomp,
+                                             const FilterBank& bank)
+    : PolarFilter(mesh, decomp, bank), plan_(mesh, decomp, local_lines()) {
+  // Pre-build the partition spectra of every row this rank will stream
+  // (construction-time, so apply() never pays the lazy transform cost and
+  // stays allocation-free once the workspaces are warm).
+  for (const LineKey& line : plan_.owned_lines()) {
+    (void)this->bank().partition(line.var, line.j);
+  }
+}
+
+void PartitionedConvFilter::apply_impl(
+    std::span<grid::Array3D<double>* const> fields) {
+  validate_fields(fields);
+  const auto& lines = plan_.lines();
+  if (lines.empty()) return;  // nothing to filter in this latitude band
+  auto& clock = mesh().world().context().clock();
+
+  // Identical movement structure to FftTransposeFilter: one transpose
+  // brings whole lines local, the streaming engine filters them, the
+  // inverse transpose restores the layout. Sub-spans split the traced
+  // phase into its communication half ("filter.transpose") and its
+  // compute half ("filter.partition-lines" — the series the scaling-model
+  // sweep fits for this backend).
+  simnet::RankContext& tctx = mesh().world().context();
+  chunks_.resize(plan_.chunk_elems());
+  extract_chunks_into(fields, box(), lines, chunks_);
+  full_.resize(plan_.line_elems());
+  {
+    AGCM_TRACE_SPAN("filter.transpose", tctx);
+    plan_.to_lines_into(mesh(), chunks_, full_);
+  }
+  {
+    AGCM_TRACE_SPAN("filter.partition-lines", tctx);
+    filter_owned_lines_partition(bank(), plan_.owned_lines(), full_, clock);
+  }
+  {
+    AGCM_TRACE_SPAN("filter.transpose", tctx);
+    plan_.to_chunks_into(mesh(), full_, chunks_);
+  }
+  write_chunks(fields, box(), lines, chunks_);
+}
+
+}  // namespace agcm::filter

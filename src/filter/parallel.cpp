@@ -16,6 +16,8 @@ std::string_view algorithm_name(FilterAlgorithm algorithm) {
     case FilterAlgorithm::kConvolutionTree: return "convolution-tree";
     case FilterAlgorithm::kFftTranspose:    return "fft-transpose";
     case FilterAlgorithm::kFftBalanced:     return "fft-load-balanced";
+    case FilterAlgorithm::kConvolutionPartitioned:
+      return "convolution-partitioned";
     case FilterAlgorithm::kImplicitZonal:   return "implicit-zonal";
   }
   return "unknown";
@@ -139,6 +141,8 @@ std::unique_ptr<PolarFilter> make_filter(FilterAlgorithm algorithm,
       return std::make_unique<FftTransposeFilter>(mesh, decomp, bank);
     case FilterAlgorithm::kFftBalanced:
       return std::make_unique<FftBalancedFilter>(mesh, decomp, bank);
+    case FilterAlgorithm::kConvolutionPartitioned:
+      return std::make_unique<PartitionedConvFilter>(mesh, decomp, bank);
     case FilterAlgorithm::kImplicitZonal:
       return std::make_unique<ImplicitZonalFilter>(mesh, decomp, bank);
   }

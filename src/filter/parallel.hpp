@@ -1,4 +1,6 @@
-// Parallel polar filtering — the four variants the paper compares.
+// Parallel polar filtering — the four variants the paper compares, plus
+// two extensions beyond the paper (partitioned overlap-save streaming
+// convolution and implicit zonal diffusion).
 //
 //   kConvolutionRing  the original AGCM algorithm: physical-space
 //                     convolution, one variable at a time, data rotated
@@ -37,6 +39,13 @@ enum class FilterAlgorithm {
   kConvolutionTree,
   kFftTranspose,
   kFftBalanced,
+  /// Extension beyond the paper: uniform-partitioned overlap-save
+  /// streaming convolution — FFT-accelerated convolution in fixed-size
+  /// blocks, same transpose movement as kFftTranspose but block FFTs of
+  /// length 2B instead of whole-line transforms (docs/filter.md).
+  /// Mathematically the convolution operator: agrees with the other
+  /// variants to rounding. Opt-in; never used by the frozen paper runs.
+  kConvolutionPartitioned,
   /// Extension beyond the paper: implicit zonal diffusion solved with a
   /// distributed periodic tridiagonal solver (see implicit_zonal.hpp).
   /// Approximates — does not exactly equal — the spectral filter.

@@ -170,6 +170,65 @@ void filter_lines_fft(const fft::FftPlan& plan, const FilterBank& bank,
   }
 }
 
+int filter_lines_partition(const FilterBank& bank,
+                           std::span<const LineKey> lines,
+                           std::span<double> data) {
+  const auto n = static_cast<std::size_t>(bank.grid().nlon());
+  const std::size_t count = lines.size();
+  AGCM_ASSERT(data.size() == count * n);
+  if (count == 0) return 0;
+  auto& ws = fft::FftWorkspace::local();
+
+  // Same greedy same-row matching as filter_lines_fft, with one
+  // difference: a partitioned pair must share the *identical* kernel (one
+  // real kernel filters both packed lanes), so leftover lines never
+  // cross-pair — they run single. Response-row pointer identity is the
+  // row key, exactly as in the FFT batcher.
+  std::span<int> scratch = ws.index_buffer(2 * count);
+  int* order = scratch.data();
+  int* pending = scratch.data() + count;
+  std::size_t npairs = 0;
+  std::size_t npend = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const LineKey& li = lines[i];
+    const double* key = bank.response(li.var, li.j).data();
+    std::size_t match = npend;
+    for (std::size_t p = 0; p < npend; ++p) {
+      const LineKey& lp = lines[static_cast<std::size_t>(pending[p])];
+      if (bank.response(lp.var, lp.j).data() == key) {
+        match = p;
+        break;
+      }
+    }
+    if (match < npend) {
+      order[2 * npairs] = pending[match];
+      order[2 * npairs + 1] = static_cast<int>(i);
+      ++npairs;
+      pending[match] = pending[--npend];  // swap-remove (deterministic)
+    } else {
+      pending[npend++] = static_cast<int>(i);
+    }
+  }
+  for (std::size_t p = 0; p < npend; ++p) order[2 * npairs + p] = pending[p];
+  AGCM_ASSERT(2 * npairs + npend == count);
+
+  auto line_at = [&](int idx) {
+    return std::span<double>(data.data() + static_cast<std::size_t>(idx) * n,
+                             n);
+  };
+  for (std::size_t p = 0; p < npairs; ++p) {
+    const LineKey& la = lines[static_cast<std::size_t>(order[2 * p])];
+    filter_line_pair_partition(bank.partition(la.var, la.j),
+                               line_at(order[2 * p]),
+                               line_at(order[2 * p + 1]));
+  }
+  for (std::size_t s = 2 * npairs; s < count; ++s) {
+    const LineKey& la = lines[static_cast<std::size_t>(order[s])];
+    filter_line_partition(bank.partition(la.var, la.j), line_at(order[s]));
+  }
+  return static_cast<int>(npairs);
+}
+
 void filter_line_convolution(std::span<double> line,
                              std::span<const double> kernel) {
   AGCM_ASSERT(line.size() == kernel.size());

@@ -47,6 +47,22 @@ void filter_line_pair_fft(const fft::FftPlan& plan, std::span<double> line_a,
 void filter_lines_fft(const fft::FftPlan& plan, const FilterBank& bank,
                       std::span<const LineKey> lines, std::span<double> data);
 
+/// Batched partitioned overlap-save driver (docs/filter.md) — the
+/// primitive the convolution-partitioned variant schedules. Filters
+/// `lines.size()` whole longitude circles laid out back-to-back in `data`
+/// (nlon doubles per line, in `lines` order) in place, streaming each
+/// through the bank's cached PartitionedKernel for its row. Lines sharing
+/// a response row ride two-for-one through the packed-complex engine
+/// (the partitioned kernel is real, so a + i b filters both lanes at
+/// once); unmatched lines run single — unlike the FFT batcher, cross-row
+/// pairing is impossible because a pair must share one kernel. Returns the
+/// number of pair streams performed (count - 2*pairs lines ran single), so
+/// the caller can charge the virtual clock for the exact schedule.
+/// Deterministic; allocation-free after bank + workspace warm-up.
+int filter_lines_partition(const FilterBank& bank,
+                           std::span<const LineKey> lines,
+                           std::span<double> data);
+
 /// Filters one longitude circle in place by direct circular convolution with
 /// `kernel` (the paper's original formulation, equation (2)).
 void filter_line_convolution(std::span<double> line,

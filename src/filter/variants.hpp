@@ -69,6 +69,37 @@ class FftTransposeFilter final : public PolarFilter {
   std::vector<double> full_;
 };
 
+/// Filters a buffer of whole owned lines (nlon doubles each, in
+/// owned-lines order) in place through the partitioned overlap-save
+/// streaming engine, pairing same-row lines two-for-one through the
+/// packed-complex transforms. Charges the virtual clock with the
+/// partitioned backend's (new, non-frozen) deterministic accounting.
+void filter_owned_lines_partition(const FilterBank& bank,
+                                  std::span<const LineKey> owned,
+                                  std::span<double> full_lines,
+                                  simnet::VirtualClock& clock);
+
+/// Extension beyond the paper: partitioned overlap-save streaming
+/// convolution (docs/filter.md). Same row-transpose data movement as
+/// FftTransposeFilter, but each whole line is filtered by the uniform-
+/// partitioned OLS engine — length-2B block FFTs against the bank's
+/// cached per-row partition spectra — instead of a whole-line transform.
+/// The third point of the Tables 8-11 crossover study.
+class PartitionedConvFilter final : public PolarFilter {
+ public:
+  PartitionedConvFilter(const comm::Mesh2D& mesh,
+                        const grid::Decomp2D& decomp, const FilterBank& bank);
+  void apply_impl(std::span<grid::Array3D<double>* const> fields) override;
+  std::string_view name() const override { return "convolution-partitioned"; }
+
+ private:
+  RowTransposePlan plan_;
+  // Growth-only scratch reused across apply() calls (allocation-free
+  // steady state, as in FftTransposeFilter).
+  std::vector<double> chunks_;
+  std::vector<double> full_;
+};
+
 /// The paper's contribution (Section 3.3): load-balanced FFT filtering.
 /// Stage A redistributes data rows in the latitudinal direction so every
 /// processor row holds ~equal filtering work (Figure 2); stage B transposes

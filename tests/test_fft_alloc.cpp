@@ -153,5 +153,44 @@ TEST(FftAllocFree, FilterKernelsAfterWarmup) {
       << " heap allocations on warmed-up filter paths (per-line budget is 0)";
 }
 
+TEST(FftAllocFree, PartitionedFilterAfterWarmup) {
+  const grid::LatLonGrid grid(144, 90, 3);
+  const filter::FilterBank bank(
+      grid, {{"u", filter::FilterKind::kStrong},
+             {"t", filter::FilterKind::kWeak}});
+  const auto n = static_cast<std::size_t>(grid.nlon());
+
+  const auto& all = bank.lines();
+  ASSERT_GE(all.size(), 7u);
+  const std::vector<filter::LineKey> batch(all.begin(), all.begin() + 7);
+
+  Rng rng(13);
+  std::vector<double> data(batch.size() * n);
+  for (double& v : data) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> a(n), b(n);
+  for (double& v : a) v = rng.uniform(-1.0, 1.0);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  const filter::LineKey la = batch[0];
+
+  // Warm-up pass: builds the bank's lazy partition spectra (kernel +
+  // block transforms), the small-FFT plan and the PartitionWorkspace
+  // growth-only buffers. The batched driver warms every row the batch
+  // touches, so the timed pass below may allocate exactly nothing.
+  const filter::PartitionedKernel& pk = bank.partition(la.var, la.j);
+  filter::filter_line_partition(pk, a);
+  filter::filter_line_pair_partition(pk, a, b);
+  filter::filter_lines_partition(bank, batch, data);
+
+  const std::size_t before = allocs();
+  filter::filter_line_partition(pk, a);
+  filter::filter_line_pair_partition(pk, a, b);
+  filter::filter_lines_partition(bank, batch, data);
+  const std::size_t after = allocs();
+  EXPECT_EQ(after - before, 0u)
+      << (after - before)
+      << " heap allocations on the warmed-up partitioned filter path "
+         "(per-line budget is 0 — docs/filter.md)";
+}
+
 }  // namespace
 }  // namespace agcm::fft

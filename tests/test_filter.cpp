@@ -271,7 +271,8 @@ TEST_P(VariantSweep, MatchesSerialReference) {
 
     const double tol =
         param.algorithm == FilterAlgorithm::kConvolutionRing ||
-                param.algorithm == FilterAlgorithm::kConvolutionTree
+                param.algorithm == FilterAlgorithm::kConvolutionTree ||
+                param.algorithm == FilterAlgorithm::kConvolutionPartitioned
             ? 1e-9   // convolution accumulates in a different order
             : 1e-10;
     for (std::size_t v = 0; v < vars.size(); ++v)
@@ -295,7 +296,8 @@ std::vector<VariantCase> variant_cases() {
   std::vector<VariantCase> cases;
   for (auto algorithm :
        {FilterAlgorithm::kConvolutionRing, FilterAlgorithm::kConvolutionTree,
-        FilterAlgorithm::kFftTranspose, FilterAlgorithm::kFftBalanced}) {
+        FilterAlgorithm::kFftTranspose, FilterAlgorithm::kFftBalanced,
+        FilterAlgorithm::kConvolutionPartitioned}) {
     for (auto [r, c] : {std::pair{1, 1}, std::pair{1, 4}, std::pair{2, 2},
                         std::pair{3, 2}, std::pair{4, 3}, std::pair{6, 1}}) {
       cases.push_back({algorithm, r, c});

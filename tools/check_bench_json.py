@@ -106,13 +106,41 @@ REQUIRED_FIELDS = {
         "fit_conv_log_power_b": float,
         "fit_fft_exponent_a": float,
         "fit_fft_log_power_b": float,
+        "fit_partition_exponent_a": float,
+        "fit_partition_log_power_b": float,
         "fit_transpose_exponent_a": float,
         "fit_transpose_log_power_b": float,
         "conv_dominates_fft": bool,
+        "conv_dominates_partition": bool,
         "imbalance_before": float,
         "imbalance_after": float,
         "all_pass": bool,
         "perf_model": dict,
+    },
+    # Only the fields common to both modes: --check-only (CI determinism
+    # fence) omits the host speedup table; full mode adds
+    # host_speedup_nlon576/host_speedup_nlon1152/host_gate_pass.
+    "filter_partition": {
+        "mode": str,
+        "block_nlon144": float,
+        "block_nlon576": float,
+        "fft_size_nlon576": float,
+        "nparts_nlon576": float,
+        "nblocks_nlon576": float,
+        "model_crossover_fft_vs_conv_nlon": float,
+        "model_crossover_partition_vs_conv_nlon": float,
+        "equiv_cases": float,
+        "equiv_max_ulp": float,
+        "equiv_ulp_envelope": float,
+        "equiv_pass": bool,
+        "virtual_partition_vs_conv_speedup_nlon576": float,
+        "partition_wins_three_way_at_nlon576": bool,
+        "fit_partition_exponent_a": float,
+        "fit_partition_log_power_b": float,
+        "fit_partition_r2": float,
+        "fit_partition_pass": bool,
+        "gate_speedup_min": float,
+        "gates_passed": bool,
     },
 }
 
@@ -158,9 +186,17 @@ def check_required_fields(path: str, doc: dict) -> str:
     if doc["bench"] == "scaling_model":
         return (
             f", conv x^{doc['fit_conv_exponent_a']:g} vs fft "
-            f"x^{doc['fit_fft_exponent_a']:g}, imbalance "
+            f"x^{doc['fit_fft_exponent_a']:g} vs partition "
+            f"x^{doc['fit_partition_exponent_a']:g}, imbalance "
             f"{doc['imbalance_before']:.0%} -> {doc['imbalance_after']:.0%}, "
             f"all_pass={doc['all_pass']}"
+        )
+    if doc["bench"] == "filter_partition":
+        return (
+            f", mode={doc['mode']}, crossover nlon "
+            f"{doc['model_crossover_partition_vs_conv_nlon']:g}, "
+            f"equiv {doc['equiv_max_ulp']:.1f} ulp, gates_passed="
+            f"{doc['gates_passed']}"
         )
     return f", {len(required)} required fields present"
 
