@@ -1,0 +1,194 @@
+// Campaign serving throughput: experiments/sec with concurrent Machines and
+// process-wide shared immutable caches, versus the historical mode — one
+// experiment at a time, every cache cold (each cell re-deriving its FFT
+// plans, FilterBank kernel spectra and emissivity tables from scratch).
+//
+// The matrix is a 32-cell sweep (4 machines x 2 resolutions x 2 LB schemes
+// x 2 physics regimes, convolution-partitioned filtering) chosen so the
+// immutable setup a sweep repays per cell — O(nlon^2) kernel spectra per
+// filtered row, partition FFTs, plans — dominates the per-cell step cost,
+// which is exactly the regime ROADMAP item 3 targets: serving many small
+// what-if experiments, not one long integration.
+//
+// Gates (exit code 1 on miss):
+//  * throughput: concurrent shared-cache serving >= 3x experiments/sec over
+//    sequential cold-cache on the same matrix,
+//  * determinism fence: the results store (wall-clock fields excluded) is
+//    byte-identical across two concurrent runs AND byte-identical to the
+//    sequential cold-cache store — i.e. cache sharing and concurrency are
+//    invisible in the results, cell for cell.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "campaign/matrix.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/store.hpp"
+#include "io/config.hpp"
+#include "util/shared_cache.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using agcm::Table;
+
+constexpr double kSpeedupGate = 3.0;
+
+// The gate matrix, in the campaign dialect itself (the same expansion path
+// production campaigns use). Small steps, 1x1 mesh: per-cell virtual
+// results still exercise filter + physics + LB end to end, but host time
+// is dominated by what the caches amortise.
+constexpr const char* kMatrixCfg = R"(campaign = throughput-gate
+mesh_rows = 1
+mesh_cols = 1
+steps = 1
+warmup_steps = 0
+dt_sec = 450
+filter_algorithm = convolution-partitioned
+sweep_machines = paragon, t3d, sp2, ideal
+sweep_resolutions = 192x94x2, 240x120x2
+sweep_lb_schemes = none, pairwise
+sweep_physics_regimes = equinox, june-solstice
+)";
+
+/// Sequential cold-cache serving: caches disabled for the duration, and
+/// any previously published entries dropped before every cell — each
+/// experiment rebuilds all immutable state, as every bench did before the
+/// campaign engine.
+std::vector<agcm::campaign::CellResult> run_cold(
+    const agcm::campaign::Campaign& matrix) {
+  agcm::util::SharedCaches::ScopedEnable off(false);
+  std::vector<agcm::campaign::CellResult> results;
+  results.reserve(matrix.cells.size());
+  for (const agcm::campaign::Cell& cell : matrix.cells) {
+    agcm::util::SharedCaches::clear_all();
+    agcm::campaign::Campaign one;
+    one.name = matrix.name;
+    one.cells.push_back(cell);
+    agcm::campaign::RunnerOptions options;
+    options.concurrency = 1;
+    std::vector<agcm::campaign::CellResult> r =
+        agcm::campaign::run_campaign(one, options);
+    results.push_back(std::move(r.front()));
+  }
+  return results;
+}
+
+std::vector<agcm::campaign::CellResult> run_concurrent(
+    const agcm::campaign::Campaign& matrix, int concurrency) {
+  agcm::util::SharedCaches::ScopedEnable on(true);
+  agcm::campaign::RunnerOptions options;
+  options.concurrency = concurrency;
+  return agcm::campaign::run_campaign(matrix, options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  agcm::bench::JsonReport report(agcm::bench::BenchOptions::parse(
+      argc, argv, "campaign_throughput"));
+  agcm::bench::print_header(
+      "Campaign serving throughput: concurrent + shared caches vs "
+      "sequential cold-cache");
+
+  const agcm::campaign::Campaign matrix =
+      agcm::campaign::campaign_from(agcm::io::Config::from_string(kMatrixCfg));
+  const auto ncells = static_cast<double>(matrix.cells.size());
+  const int concurrency = std::clamp(
+      static_cast<int>(std::thread::hardware_concurrency()), 2, 8);
+  agcm::bench::print_note("matrix: " + std::to_string(matrix.cells.size()) +
+                          " experiments; concurrency " +
+                          std::to_string(concurrency));
+
+  // Sequential cold-cache baseline.
+  const agcm::bench::Stopwatch cold_sw;
+  const std::vector<agcm::campaign::CellResult> cold = run_cold(matrix);
+  const double cold_sec = cold_sw.seconds();
+
+  // Concurrent shared-cache serving (caches start empty: the run pays its
+  // own first-build costs).
+  agcm::util::SharedCaches::clear_all();
+  const agcm::bench::Stopwatch warm_sw;
+  const std::vector<agcm::campaign::CellResult> warm =
+      run_concurrent(matrix, concurrency);
+  const double warm_sec = warm_sw.seconds();
+
+  // Second concurrent run for the run-to-run determinism fence.
+  const std::vector<agcm::campaign::CellResult> warm2 =
+      run_concurrent(matrix, concurrency);
+
+  const std::string store_cold =
+      agcm::campaign::store_lines(matrix.name, cold, /*include_wall=*/false);
+  const std::string store_warm =
+      agcm::campaign::store_lines(matrix.name, warm, /*include_wall=*/false);
+  const std::string store_warm2 =
+      agcm::campaign::store_lines(matrix.name, warm2, /*include_wall=*/false);
+
+  const bool repeat_identical = store_warm == store_warm2;
+  const bool matches_standalone = store_warm == store_cold;
+
+  const double cold_eps = ncells / cold_sec;
+  const double warm_eps = ncells / warm_sec;
+  const double speedup = warm_eps / cold_eps;
+
+  Table table("Campaign serving (" + std::to_string(matrix.cells.size()) +
+                  " experiments)",
+              {"Mode", "Wall s", "exp/s", "Speedup"});
+  table.add_row({"sequential, cold caches", Table::num(cold_sec, 3),
+                 Table::num(cold_eps, 1), "1.0"});
+  table.add_row({"concurrent x" + std::to_string(concurrency) +
+                     ", shared caches",
+                 Table::num(warm_sec, 3), Table::num(warm_eps, 1),
+                 Table::num(speedup, 2)});
+  agcm::bench::emit_table(report, table);
+
+  Table caches("Shared-cache population after the concurrent run",
+               {"Cache", "Hits", "Misses"});
+  for (const agcm::util::SharedCacheInfo& info :
+       agcm::util::SharedCaches::stats()) {
+    caches.add_row({info.name, std::to_string(info.stats.hits),
+                    std::to_string(info.stats.misses)});
+  }
+  agcm::bench::emit_table(report, caches);
+
+  agcm::bench::print_note(
+      "gate: concurrent shared >= " + Table::num(kSpeedupGate, 1) +
+      "x sequential cold (got " + Table::num(speedup, 2) + "x); store " +
+      (repeat_identical ? "byte-identical across runs" : "DIVERGED") +
+      ", standalone cross-check " +
+      (matches_standalone ? "byte-identical" : "DIVERGED"));
+
+  report.set("cells", static_cast<int>(matrix.cells.size()));
+  report.set("concurrency", concurrency);
+  report.set("wall_cold_sec", cold_sec);
+  report.set("wall_concurrent_sec", warm_sec);
+  report.set("throughput_cold_eps", cold_eps);
+  report.set("throughput_concurrent_eps", warm_eps);
+  report.set("speedup", speedup);
+  report.set("gate_speedup_min", kSpeedupGate);
+  report.set("store_deterministic", repeat_identical);
+  report.set("store_matches_standalone", matches_standalone);
+
+  bool ok = true;
+  if (speedup < kSpeedupGate) {
+    std::fprintf(stderr, "throughput gate failed: %.2fx (>= %.1fx required)\n",
+                 speedup, kSpeedupGate);
+    ok = false;
+  }
+  if (!repeat_identical) {
+    std::fprintf(stderr, "store diverged between two concurrent runs\n");
+    ok = false;
+  }
+  if (!matches_standalone) {
+    std::fprintf(stderr,
+                 "concurrent store diverged from sequential cold-cache "
+                 "(standalone) store\n");
+    ok = false;
+  }
+  report.set("gates_passed", ok);
+  report.finish();
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+// Campaign driver: expands a campaign .cfg into its scenario matrix, serves
+// the experiments on a bounded concurrent worker budget, and streams the
+// results to a JSON-lines store (schema agcm-campaign-v1; query it with
+// tools/campaign_query.py). See docs/campaign.md.
+//
+//   $ ./campaign_run ../configs/campaign_smoke.cfg --out results.jsonl \
+//        --concurrency 4
+//
+// Flags:
+//   --out <path>        store file (default: campaign_results.jsonl)
+//   --concurrency <N>   experiments in flight at once (default 4)
+//   --append            append to the store instead of replacing it
+//   --no-wall           omit wall_sec from records (byte-stable store)
+//   --list              print the expanded matrix and exit without running
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "campaign/matrix.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/store.hpp"
+#include "io/config.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+int main(int argc, char** argv) {
+  using namespace agcm;
+  std::string config_path;
+  std::string out_path = "campaign_results.jsonl";
+  int concurrency = 4;
+  bool append = false;
+  bool include_wall = true;
+  bool list_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--concurrency" && i + 1 < argc) {
+      concurrency = std::atoi(argv[++i]);
+    } else if (arg == "--append") {
+      append = true;
+    } else if (arg == "--no-wall") {
+      include_wall = false;
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (config_path.empty() && arg[0] != '-') {
+      config_path = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s <campaign.cfg> [--out <path>] "
+                   "[--concurrency N] [--append] [--no-wall] [--list]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (config_path.empty() || concurrency < 1) {
+    std::fprintf(stderr, "usage: %s <campaign.cfg> [--out <path>] "
+                         "[--concurrency N] [--append] [--no-wall] [--list]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  try {
+    const io::Config config = io::Config::from_file(config_path);
+    const campaign::Campaign matrix = campaign::campaign_from(config);
+    for (const std::string& key : config.unused_keys())
+      log::warn("config key '{}' was not recognised", key);
+
+    std::printf("campaign '%s': %zu experiments\n", matrix.name.c_str(),
+                matrix.cells.size());
+    if (list_only) {
+      for (const campaign::Cell& cell : matrix.cells)
+        std::printf("  %s  %s\n", cell.config_hash.c_str(),
+                    cell.name.c_str());
+      return 0;
+    }
+
+    campaign::RunnerOptions options;
+    options.concurrency = concurrency;
+    const std::vector<campaign::CellResult> results =
+        campaign::run_campaign(matrix, options);
+
+    campaign::write_store(out_path, matrix.name, results, include_wall,
+                          append);
+    double total_wall = 0.0;
+    for (const campaign::CellResult& result : results)
+      total_wall += result.wall_sec;
+    std::printf("wrote %zu records to %s (%.2f s of experiment wall time)\n",
+                results.size(), out_path.c_str(), total_wall);
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

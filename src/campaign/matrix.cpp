@@ -1,0 +1,212 @@
+#include "campaign/matrix.hpp"
+
+#include <sstream>
+
+#include "trace/json.hpp"
+#include "util/error.hpp"
+
+namespace agcm::campaign {
+
+namespace {
+
+using core::ModelConfig;
+
+/// The same token core/config_load parses (filter::algorithm_name).
+std::string filter_algorithm_token(filter::FilterAlgorithm algorithm) {
+  return std::string(filter::algorithm_name(algorithm));
+}
+
+const char* time_scheme_token(dynamics::TimeScheme scheme) {
+  return scheme == dynamics::TimeScheme::kLeapfrog ? "leapfrog"
+                                                   : "forward-backward";
+}
+
+std::string trimmed(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// Splits a comma-separated axis value; empty string -> empty list (axis
+/// not swept). Throws on an empty element ("a,,b").
+std::vector<std::string> split_list(const std::string& text,
+                                    const std::string& key) {
+  std::vector<std::string> out;
+  if (trimmed(text).empty()) return out;
+  std::stringstream stream(text);
+  std::string element;
+  while (std::getline(stream, element, ',')) {
+    element = trimmed(element);
+    if (element.empty())
+      throw ConfigError("empty element in " + key + " list");
+    out.push_back(element);
+  }
+  return out;
+}
+
+struct Resolution {
+  int nlon = 0;
+  int nlat = 0;
+  int nlev = 0;
+};
+
+Resolution parse_resolution(const std::string& token) {
+  Resolution r;
+  char x1 = 0, x2 = 0;
+  std::istringstream stream(token);
+  if (!(stream >> r.nlon >> x1 >> r.nlat >> x2 >> r.nlev) || x1 != 'x' ||
+      x2 != 'x' || r.nlon < 4 || r.nlat < 2 || r.nlev < 1 ||
+      !(stream >> std::ws).eof()) {
+    throw ConfigError("bad resolution '" + token + "' (want NLONxNLATxNLEV)");
+  }
+  return r;
+}
+
+std::string resolution_token(const ModelConfig& model) {
+  std::ostringstream out;
+  out << model.nlon << 'x' << model.nlat << 'x' << model.nlev;
+  return out.str();
+}
+
+using core::ModelConfig;
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+std::string canonical_config(const core::RunSpec& spec) {
+  const ModelConfig& m = spec.model;
+  std::ostringstream out;
+  const auto num = [](double v) { return trace::JsonValue::number_repr(v); };
+  // Sorted keys; numbers in shortest-exact form so equal text means equal
+  // values. Host-execution knobs (simnet backend/workers, recv timeout,
+  // tracing) are deliberately absent: they cannot affect results.
+  out << "dt_sec = " << num(m.dt_sec) << '\n'
+      << "filter_algorithm = " << filter_algorithm_token(m.filter_algorithm)
+      << '\n'
+      << "lb_max_iterations = " << m.lb_options.max_iterations << '\n'
+      << "lb_scheme = "
+      << lb::scheme_name(m.physics_load_balance ? m.lb_scheme
+                                                : lb::Scheme::kNone)
+      << '\n'
+      << "lb_tolerance = " << num(m.lb_options.tolerance) << '\n'
+      << "machine = " << m.machine.name << '\n'
+      << "machine_cache_bytes = " << num(m.machine.cache_bytes) << '\n'
+      << "machine_flops_per_sec = " << num(m.machine.flops_per_sec) << '\n'
+      << "machine_link_bytes_per_sec = " << num(m.machine.link_bytes_per_sec)
+      << '\n'
+      << "machine_loop_startup_elems = " << num(m.machine.loop_startup_elems)
+      << '\n'
+      << "machine_mem_bytes_per_sec = " << num(m.machine.mem_bytes_per_sec)
+      << '\n'
+      << "machine_msg_latency_sec = " << num(m.machine.msg_latency_sec)
+      << '\n'
+      << "machine_recv_overhead_sec = " << num(m.machine.recv_overhead_sec)
+      << '\n'
+      << "machine_send_overhead_sec = " << num(m.machine.send_overhead_sec)
+      << '\n'
+      << "mesh_cols = " << m.mesh_cols << '\n'
+      << "mesh_rows = " << m.mesh_rows << '\n'
+      << "nlat = " << m.nlat << '\n'
+      << "nlev = " << m.nlev << '\n'
+      << "nlon = " << m.nlon << '\n'
+      << "optimized_advection = " << (m.optimized_advection ? 1 : 0) << '\n'
+      << "physics = " << (m.physics_enabled ? 1 : 0) << '\n'
+      << "physics_regime = " << physics::physics_regime_name(m.physics_regime)
+      << '\n'
+      << "polar_filter = " << (m.use_polar_filter ? 1 : 0) << '\n'
+      << "seed = " << m.seed << '\n'
+      << "steps = " << spec.steps << '\n'
+      << "time_scheme = " << time_scheme_token(m.time_scheme) << '\n'
+      << "warmup_steps = " << spec.warmup_steps << '\n';
+  return out.str();
+}
+
+Cell make_cell(std::string name, const core::RunSpec& spec) {
+  Cell cell;
+  cell.name = std::move(name);
+  cell.spec = spec;
+  cell.spec.trace = false;  // the tracer is process-global; never in cells
+  cell.spec.trace_json_path.clear();
+  cell.spec.trace_csv_path.clear();
+  cell.canonical = canonical_config(cell.spec);
+  std::ostringstream hash;
+  hash << std::hex << std::nouppercase;
+  hash.width(16);
+  hash.fill('0');
+  hash << fnv1a64(cell.canonical);
+  cell.config_hash = hash.str();
+  return cell;
+}
+
+Campaign campaign_from(const io::Config& config) {
+  Campaign campaign;
+  campaign.name = config.get_string("campaign", "campaign");
+  const core::RunSpec base = core::run_spec_from(config);
+
+  // Each axis: the sweep list, or the base value's token when not swept.
+  std::vector<std::string> machines = split_list(
+      config.get_string("sweep_machines", ""), "sweep_machines");
+  if (machines.empty())
+    machines.push_back(config.get_string("machine", "t3d"));
+  std::vector<std::string> resolutions = split_list(
+      config.get_string("sweep_resolutions", ""), "sweep_resolutions");
+  if (resolutions.empty()) resolutions.push_back(resolution_token(base.model));
+  std::vector<std::string> algorithms =
+      split_list(config.get_string("sweep_filter_algorithms", ""),
+                 "sweep_filter_algorithms");
+  if (algorithms.empty())
+    algorithms.push_back(filter_algorithm_token(base.model.filter_algorithm));
+  std::vector<std::string> schemes = split_list(
+      config.get_string("sweep_lb_schemes", ""), "sweep_lb_schemes");
+  if (schemes.empty())
+    schemes.push_back(lb::scheme_name(
+        base.model.physics_load_balance ? base.model.lb_scheme
+                                        : lb::Scheme::kNone));
+  std::vector<std::string> regimes = split_list(
+      config.get_string("sweep_physics_regimes", ""), "sweep_physics_regimes");
+  if (regimes.empty())
+    regimes.push_back(physics::physics_regime_name(base.model.physics_regime));
+
+  for (const std::string& machine : machines) {
+    for (const std::string& resolution : resolutions) {
+      const Resolution res = parse_resolution(resolution);
+      for (const std::string& algorithm : algorithms) {
+        for (const std::string& scheme : schemes) {
+          for (const std::string& regime : regimes) {
+            core::RunSpec spec = base;
+            spec.model.machine = core::parse_machine_profile(machine);
+            spec.model.nlon = res.nlon;
+            spec.model.nlat = res.nlat;
+            spec.model.nlev = res.nlev;
+            spec.model.filter_algorithm =
+                core::parse_filter_algorithm(algorithm);
+            spec.model.lb_scheme = core::parse_lb_scheme(scheme);
+            spec.model.physics_load_balance =
+                spec.model.lb_scheme != lb::Scheme::kNone;
+            spec.model.physics_regime = core::parse_physics_regime(regime);
+            campaign.cells.push_back(make_cell(
+                machine + "/" + resolution + "/" + algorithm + "/" + scheme +
+                    "/" + regime,
+                spec));
+          }
+        }
+      }
+    }
+  }
+  return campaign;
+}
+
+Campaign campaign_from_file(const std::string& path) {
+  return campaign_from(io::Config::from_file(path));
+}
+
+}  // namespace agcm::campaign

@@ -1,0 +1,75 @@
+// Campaign matrix: a config-driven scenario sweep expanded from a single
+// `.cfg` file into the cross product of its axes.
+//
+// The paper's real product is a performance-exploration method — sweep
+// machine profiles, resolutions, filter schemes and load-balance schemes to
+// locate crossovers (Tables 1-11). The campaign dialect makes that sweep a
+// first-class artefact: one file describes the whole matrix, and every cell
+// becomes an independent virtual experiment the runner (runner.hpp) can
+// serve concurrently.
+//
+// Dialect (docs/campaign.md): every ordinary RunSpec key is accepted and
+// becomes the base configuration of every cell; the five sweep axes are
+// comma-separated lists, each optional (a missing axis keeps the base
+// value):
+//
+//   campaign              = smoke            # campaign name (store records)
+//   sweep_machines        = paragon, t3d     # machine profiles
+//   sweep_resolutions     = 144x90x9, 72x46x5  # nlon x nlat x nlev
+//   sweep_filter_algorithms = fft-load-balanced, convolution-partitioned
+//   sweep_lb_schemes      = none, pairwise   # + cyclic, sorted-greedy
+//   sweep_physics_regimes = equinox, june-solstice, december-solstice
+//
+// Expansion order is deterministic: machines outermost, then resolutions,
+// filter algorithms, lb schemes, physics regimes innermost — so cell order,
+// cell names and the results store are byte-stable for a given file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/config_load.hpp"
+
+namespace agcm::campaign {
+
+/// One experiment of the matrix.
+struct Cell {
+  /// "machine/NxMxK/filter/lb/regime" — unique within the campaign.
+  std::string name;
+  /// The full run request (model + steps); tracing is always off in
+  /// campaign cells (the tracer is process-global, cells run concurrently).
+  core::RunSpec spec;
+  /// Canonical `key = value` serialisation of everything that affects the
+  /// result (sorted keys, exact number formatting). Two cells with equal
+  /// canonical forms are the same experiment.
+  std::string canonical;
+  /// 16 lowercase hex digits: FNV-1a 64 of `canonical`.
+  std::string config_hash;
+};
+
+struct Campaign {
+  std::string name = "campaign";
+  std::vector<Cell> cells;
+};
+
+/// FNV-1a 64-bit (the store's config-hash function; stable across
+/// platforms and runs).
+std::uint64_t fnv1a64(std::string_view text);
+
+/// The canonical serialisation hashed into Cell::config_hash. Includes
+/// every ModelConfig field that influences results plus steps/warmup;
+/// excludes tracing and host-execution knobs (backend, worker counts),
+/// which are virtual-time neutral by construction.
+std::string canonical_config(const core::RunSpec& spec);
+
+/// Builds a cell around a fully specified RunSpec (used by the standalone
+/// cross-check path as well as the expander).
+Cell make_cell(std::string name, const core::RunSpec& spec);
+
+/// Expands the matrix. Throws ConfigError on malformed axis values.
+Campaign campaign_from(const io::Config& config);
+Campaign campaign_from_file(const std::string& path);
+
+}  // namespace agcm::campaign

@@ -1,0 +1,70 @@
+#include "campaign/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace agcm::campaign {
+
+std::vector<CellResult> run_campaign(const Campaign& campaign,
+                                     const RunnerOptions& options) {
+  check_config(options.concurrency >= 1, "campaign concurrency must be >= 1");
+  check_config(options.workers_per_machine >= 0,
+               "workers_per_machine must be >= 0");
+
+  const std::size_t ncells = campaign.cells.size();
+  std::vector<CellResult> results(ncells);
+
+  // Work queue: an atomic cursor over matrix order. Results land at their
+  // cell's index, so the output order never depends on scheduling.
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto serve = [&] {
+    for (;;) {
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= ncells) return;
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error) return;  // stop taking new cells after a failure
+      }
+      const Cell& cell = campaign.cells[index];
+      try {
+        core::ModelConfig config = cell.spec.model;
+        if (options.workers_per_machine > 0)
+          config.simnet_workers = options.workers_per_machine;
+        const auto t0 = std::chrono::steady_clock::now();
+        core::RunReport report =
+            core::run_model(config, cell.spec.steps, cell.spec.warmup_steps);
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - t0;
+        results[index] = {cell, std::move(report), wall.count()};
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  const int nthreads =
+      std::min<int>(options.concurrency, static_cast<int>(std::max<std::size_t>(ncells, 1)));
+  if (nthreads <= 1) {
+    serve();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(nthreads));
+    for (int t = 0; t < nthreads; ++t) pool.emplace_back(serve);
+    for (std::thread& thread : pool) thread.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace agcm::campaign

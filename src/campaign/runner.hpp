@@ -1,0 +1,40 @@
+// Campaign runner: serves the matrix's experiments on a bounded budget of
+// host worker threads, many simnet Machines in flight at once.
+//
+// Safety argument (docs/campaign.md): a Machine and everything under it —
+// Network, BufferPool, RankContexts, fiber scheduler — is instance-scoped,
+// and per-rank mutable state lives in util::ExecSlot, so concurrent
+// Machine::run calls never share mutable state. What they DO share is the
+// process-wide read-only caches (FFT plans, FilterBank tables, the
+// emissivity table), whose entries are immutable after publication and
+// bit-identical to per-rank construction. Virtual results therefore cannot
+// depend on the concurrency level — the isolation tests and the bench's
+// standalone cross-check enforce exactly that.
+//
+// Determinism: results are collected into matrix order regardless of
+// completion order, so the resulting store is byte-stable.
+#pragma once
+
+#include <vector>
+
+#include "campaign/store.hpp"
+
+namespace agcm::campaign {
+
+struct RunnerOptions {
+  /// Experiments in flight at once (host threads running Machines).
+  /// 1 = sequential.
+  int concurrency = 1;
+  /// Fiber worker-pool size per machine; campaign cells default to 1 so a
+  /// C-way-concurrent campaign uses ~C host threads total. 0 keeps each
+  /// machine's own default (min(nranks, hardware)); any value is
+  /// virtual-time neutral.
+  int workers_per_machine = 1;
+};
+
+/// Runs every cell and returns results in matrix order. Rethrows the first
+/// cell failure (after all in-flight cells finish).
+std::vector<CellResult> run_campaign(const Campaign& campaign,
+                                     const RunnerOptions& options = {});
+
+}  // namespace agcm::campaign

@@ -1,0 +1,89 @@
+#include "campaign/store.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace agcm::campaign {
+
+namespace {
+
+/// The canonical `key = value` lines as a JSON object (string values, so
+/// the record's config block is exactly the hashed text, reshaped).
+trace::JsonValue config_object(const std::string& canonical) {
+  trace::JsonValue config = trace::JsonValue::object();
+  std::istringstream stream(canonical);
+  std::string line;
+  while (std::getline(stream, line)) {
+    const std::size_t eq = line.find(" = ");
+    if (eq == std::string::npos) continue;
+    config.set(line.substr(0, eq), line.substr(eq + 3));
+  }
+  return config;
+}
+
+}  // namespace
+
+trace::JsonValue store_record(const std::string& campaign_name,
+                              const CellResult& result, bool include_wall) {
+  const core::RunReport& report = result.report;
+  trace::JsonValue record = trace::JsonValue::object();
+  record.set("schema", kStoreSchema);
+  record.set("campaign", campaign_name);
+  record.set("cell", result.cell.name);
+  record.set("config_hash", result.cell.config_hash);
+  record.set("config", config_object(result.cell.canonical));
+
+  // Virtual-time breakdown: per-step components (max over ranks, as the
+  // paper times them) plus the per-simulated-day totals the tables quote.
+  // Everything here is virtual — deterministic by construction.
+  trace::JsonValue virt = trace::JsonValue::object();
+  virt.set("steps", report.steps);
+  virt.set("filter_per_step_sec", report.per_step.filter);
+  virt.set("halo_per_step_sec", report.per_step.halo);
+  virt.set("fd_per_step_sec", report.per_step.fd);
+  virt.set("physics_compute_per_step_sec", report.per_step.physics_compute);
+  virt.set("physics_balance_per_step_sec", report.per_step.physics_balance);
+  virt.set("dynamics_per_day_sec", report.dynamics_per_day());
+  virt.set("physics_per_day_sec", report.physics_per_day());
+  virt.set("total_per_day_sec", report.total_per_day());
+  virt.set("filter_setup_sec", report.filter_setup_sec);
+  record.set("virtual", virt);
+
+  trace::JsonValue diag = trace::JsonValue::object();
+  diag.set("physics_imbalance_before", report.physics_imbalance_before);
+  diag.set("physics_imbalance_after", report.physics_imbalance_after);
+  diag.set("mass_drift_rel", report.mass_drift_rel);
+  diag.set("max_zonal_courant", report.max_zonal_courant);
+  diag.set("max_gravity_courant", report.max_gravity_courant);
+  diag.set("total_messages", report.total_messages);
+  diag.set("total_bytes", report.total_bytes);
+  record.set("diagnostics", diag);
+
+  if (include_wall) record.set("wall_sec", result.wall_sec);
+  return record;
+}
+
+std::string store_lines(const std::string& campaign_name,
+                        const std::vector<CellResult>& results,
+                        bool include_wall) {
+  std::string out;
+  for (const CellResult& result : results) {
+    out += store_record(campaign_name, result, include_wall).dump();
+    out += '\n';
+  }
+  return out;
+}
+
+void write_store(const std::string& path, const std::string& campaign_name,
+                 const std::vector<CellResult>& results, bool include_wall,
+                 bool append) {
+  std::ofstream out(path, append ? std::ios::out | std::ios::app
+                                 : std::ios::out | std::ios::trunc);
+  if (!out) throw DataError("cannot open store file '" + path + "'");
+  out << store_lines(campaign_name, results, include_wall);
+  if (!out) throw DataError("failed writing store file '" + path + "'");
+}
+
+}  // namespace agcm::campaign

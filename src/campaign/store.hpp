@@ -1,0 +1,55 @@
+// Campaign results store: append-only JSON-lines, schema `agcm-campaign-v1`.
+//
+// One line = one completed experiment. Records are written in matrix order
+// (not completion order), so a store produced from the same campaign file
+// is byte-identical across runs — except the wall-clock fields, which are
+// confined to exactly two keys (`wall_sec` on each record, `written_unix`
+// never included here) so determinism fences can strip them textually
+// (tools/campaign_query.py --strip-wall) and byte-compare the rest.
+//
+// Record layout (insertion-ordered, so serialisation is deterministic):
+//   {"schema":"agcm-campaign-v1","campaign":...,"cell":...,
+//    "config_hash":...,"config":{...},            // canonical key/values
+//    "virtual":{...per-step component breakdown + per-day totals...},
+//    "diagnostics":{...},                         // determinism-relevant
+//    "wall_sec":N}                                // host time; stripped by fences
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/matrix.hpp"
+#include "core/model.hpp"
+#include "trace/json.hpp"
+
+namespace agcm::campaign {
+
+inline constexpr const char* kStoreSchema = "agcm-campaign-v1";
+
+/// One completed experiment: the cell, its report, and the measured host
+/// time (the only nondeterministic field).
+struct CellResult {
+  Cell cell;
+  core::RunReport report;
+  double wall_sec = 0.0;
+};
+
+/// Builds the store record for one result. With include_wall false the
+/// `wall_sec` member is omitted entirely — the byte-stable form used by
+/// determinism fences and tests.
+trace::JsonValue store_record(const std::string& campaign_name,
+                              const CellResult& result,
+                              bool include_wall = true);
+
+/// All records, one compact JSON line each (newline-terminated).
+std::string store_lines(const std::string& campaign_name,
+                        const std::vector<CellResult>& results,
+                        bool include_wall = true);
+
+/// Writes (or appends) the JSON-lines store; throws DataError on I/O
+/// failure.
+void write_store(const std::string& path, const std::string& campaign_name,
+                 const std::vector<CellResult>& results,
+                 bool include_wall = true, bool append = false);
+
+}  // namespace agcm::campaign

@@ -32,6 +32,31 @@ simnet::MachineProfile parse_machine_profile(const std::string& name) {
   throw ConfigError("unknown machine '" + name + "'");
 }
 
+lb::Scheme parse_lb_scheme(const std::string& name) {
+  using lb::Scheme;
+  if (name == "none") return Scheme::kNone;
+  if (name == "cyclic" || name == "scheme1") return Scheme::kCyclic;
+  if (name == "sorted-greedy" || name == "scheme2")
+    return Scheme::kSortedGreedy;
+  if (name == "pairwise" || name == "scheme3") return Scheme::kPairwise;
+  throw ConfigError("unknown lb_scheme '" + name + "'");
+}
+
+physics::PhysicsRegime parse_physics_regime(const std::string& name) {
+  using physics::PhysicsRegime;
+  if (name == "equinox") return PhysicsRegime::kEquinox;
+  if (name == "june-solstice") return PhysicsRegime::kJuneSolstice;
+  if (name == "december-solstice") return PhysicsRegime::kDecemberSolstice;
+  throw ConfigError("unknown physics_regime '" + name + "'");
+}
+
+simnet::SimBackend parse_sim_backend(const std::string& name) {
+  using simnet::SimBackend;
+  if (name == "fibers") return SimBackend::kFibers;
+  if (name == "threads") return SimBackend::kThreads;
+  throw ConfigError("unknown simnet_backend '" + name + "'");
+}
+
 RunSpec run_spec_from(const io::Config& config) {
   RunSpec spec;
   ModelConfig& model = spec.model;
@@ -50,8 +75,25 @@ RunSpec run_spec_from(const io::Config& config) {
   model.use_polar_filter = config.get_bool("polar_filter", true);
   model.physics_enabled = config.get_bool("physics", true);
   model.physics_load_balance = config.get_bool("physics_load_balance", false);
+  // The scheme axis subsumes the boolean: `lb_scheme = none` turns
+  // balancing off even if the legacy flag is set, any other scheme turns
+  // it on. With no lb_scheme key the legacy flag keeps its historical
+  // meaning (pairwise when true).
+  model.lb_scheme = parse_lb_scheme(config.get_string(
+      "lb_scheme", model.physics_load_balance ? "pairwise" : "none"));
+  model.physics_load_balance = model.lb_scheme != lb::Scheme::kNone;
+  model.lb_options.max_iterations =
+      config.get_int("lb_max_iterations", model.lb_options.max_iterations);
+  model.lb_options.tolerance =
+      config.get_double("lb_tolerance", model.lb_options.tolerance);
+  model.physics_regime = parse_physics_regime(
+      config.get_string("physics_regime", "equinox"));
   model.optimized_advection = config.get_bool("optimized_advection", false);
   model.seed = static_cast<std::uint64_t>(config.get_int("seed", 1996));
+  if (config.has("simnet_backend"))
+    model.simnet_backend =
+        parse_sim_backend(config.require_string("simnet_backend"));
+  model.simnet_workers = config.get_int("simnet_workers", 0);
   spec.steps = config.get_int("steps", 4);
   spec.warmup_steps = config.get_int("warmup_steps", 1);
 

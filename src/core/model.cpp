@@ -36,6 +36,8 @@ RunReport run_model(const ModelConfig& config, int steps, int warmup_steps) {
 
   simnet::Machine machine(config.machine);
   machine.set_recv_timeout_ms(config.recv_timeout_ms);
+  machine.set_backend(config.simnet_backend);
+  machine.set_workers(config.simnet_workers);
   const int nranks = config.nranks();
 
   std::vector<RankOutcome> outcomes(static_cast<std::size_t>(nranks));
@@ -79,7 +81,10 @@ RunReport run_model(const ModelConfig& config, int steps, int warmup_steps) {
     phys_cfg.column.nlev = config.nlev;
     phys_cfg.column.dt_sec = config.dt_sec;
     phys_cfg.column.seed = config.seed;
+    phys_cfg.column.solar_declination_rad =
+        physics::regime_declination_rad(config.physics_regime);
     phys_cfg.load_balance = config.physics_load_balance;
+    phys_cfg.lb_scheme = config.lb_scheme;
     phys_cfg.lb_options = config.lb_options;
     physics::Physics phys(mesh, decomp, grid, phys_cfg);
 

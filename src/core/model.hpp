@@ -13,6 +13,7 @@
 #include "dynamics/dynamics.hpp"
 #include "loadbalance/schemes.hpp"
 #include "physics/physics.hpp"
+#include "simnet/machine.hpp"
 #include "simnet/machine_profile.hpp"
 #include "simnet/virtual_clock.hpp"
 
@@ -35,13 +36,26 @@ struct ModelConfig {
 
   bool physics_enabled = true;
   bool physics_load_balance = false;
+  /// Scheme run when physics_load_balance is on; pairwise (Scheme 3)
+  /// preserves the flag's historical meaning. The `lb_scheme` config key
+  /// drives both fields (none => balancing off).
+  lb::Scheme lb_scheme = lb::Scheme::kPairwise;
   lb::PairwiseOptions lb_options{};
+  /// Seasonal insolation regime (solar declination). Equinox is the
+  /// historical default; the solstices skew the day/night load field.
+  physics::PhysicsRegime physics_regime = physics::PhysicsRegime::kEquinox;
 
   bool optimized_advection = false;
 
   std::uint64_t seed = 1996;
   simnet::MachineProfile machine = simnet::MachineProfile::intel_paragon();
   int recv_timeout_ms = 600'000;
+  /// Host-execution knobs for the simnet Machine (virtual-time neutral):
+  /// backend selection and the fiber worker-pool size. A campaign running
+  /// many machines concurrently caps each machine's pool so the host isn't
+  /// oversubscribed; 0 keeps the machine default (min(nranks, hardware)).
+  simnet::SimBackend simnet_backend = simnet::Machine::default_backend();
+  int simnet_workers = 0;
 
   int nranks() const { return mesh_rows * mesh_cols; }
   double steps_per_day() const { return 86400.0 / dt_sec; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "filter/bank_cache.hpp"
 #include "grid/halo.hpp"
 #include "trace/tracer.hpp"
 #include "util/error.hpp"
@@ -38,7 +39,7 @@ Dynamics::Dynamics(const comm::Mesh2D& mesh, const grid::Decomp2D& decomp,
     : mesh_(&mesh), decomp_(&decomp), grid_(&grid), config_(config),
       box_(decomp.box(mesh.coord())),
       metrics_(Metrics::build(grid, box_)),
-      bank_(std::make_unique<filter::FilterBank>(grid, filtered_variables())),
+      bank_(filter::shared_bank(grid, filtered_variables())),
       h_new_(box_.ni, box_.nj, grid.nlev(), 1),
       u_new_(box_.ni, box_.nj, grid.nlev(), 1),
       v_new_(box_.ni, box_.nj, grid.nlev(), 1),

@@ -100,7 +100,11 @@ class Dynamics {
   DynamicsConfig config_;
   grid::LocalBox box_;
   Metrics metrics_;
-  std::unique_ptr<filter::FilterBank> bank_;
+  /// Resolved through the process-wide bank cache (filter/bank_cache.hpp):
+  /// every rank of every concurrent run at the same grid geometry shares
+  /// one immutable bank; the handle keeps it (and its owned grid copy)
+  /// alive past any cache clear.
+  std::shared_ptr<const filter::FilterBank> bank_;
   std::unique_ptr<filter::PolarFilter> filter_;
   DynamicsTimings timings_;
   // Scratch fields reused across steps.

@@ -1,0 +1,58 @@
+#include "fft/plan_cache.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "util/shared_cache.hpp"
+
+namespace agcm::fft {
+
+namespace {
+
+struct PlanCache {
+  std::mutex mutex;
+  std::map<int, std::shared_ptr<const FftPlan>> plans;
+  util::SharedCacheStats stats;
+
+  static PlanCache& instance() {
+    static PlanCache cache;
+    return cache;
+  }
+
+ private:
+  PlanCache() {
+    util::SharedCaches::register_cache(
+        "fft.plans", [] { clear_plan_cache(); },
+        [] {
+          PlanCache& c = instance();
+          std::lock_guard<std::mutex> lock(c.mutex);
+          return c.stats;
+        });
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const FftPlan> shared_plan(int n) {
+  if (!util::SharedCaches::enabled())
+    return std::make_shared<const FftPlan>(n);
+  PlanCache& cache = PlanCache::instance();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  auto it = cache.plans.find(n);
+  if (it != cache.plans.end()) {
+    ++cache.stats.hits;
+    return it->second;
+  }
+  ++cache.stats.misses;
+  auto plan = std::make_shared<const FftPlan>(n);
+  cache.plans.emplace(n, plan);
+  return plan;
+}
+
+void clear_plan_cache() {
+  PlanCache& cache = PlanCache::instance();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  cache.plans.clear();
+}
+
+}  // namespace agcm::fft

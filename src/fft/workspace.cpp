@@ -1,5 +1,7 @@
 #include "fft/workspace.hpp"
 
+#include "fft/plan_cache.hpp"
+
 namespace agcm::fft {
 
 FftWorkspace& FftWorkspace::local() {
@@ -16,7 +18,10 @@ const FftPlan& FftWorkspace::plan(int n) {
   for (const Entry& e : plans_) {
     if (e.n == n) return *e.plan;
   }
-  plans_.push_back(Entry{n, std::make_unique<FftPlan>(n)});
+  // Miss: resolve through the process-wide plan cache (one immutable plan
+  // per length, shared across ranks and Machines) and memoize the
+  // shared_ptr locally, so every later call stays a lock-free linear scan.
+  plans_.push_back(Entry{n, shared_plan(n)});
   return *plans_.back().plan;
 }
 

@@ -42,10 +42,12 @@ class FftWorkspace {
   FftWorkspace(const FftWorkspace&) = delete;
   FftWorkspace& operator=(const FftWorkspace&) = delete;
 
-  /// Cached plan for length n; built on first request, identical to a
-  /// freshly constructed FftPlan(n) thereafter (plan construction is
-  /// deterministic, so cached and fresh plans produce bit-identical
-  /// transforms — tested in tests/test_fft.cpp).
+  /// Cached plan for length n. A per-rank miss resolves through the
+  /// process-wide fft::shared_plan cache (one immutable plan per length,
+  /// shared across ranks and concurrent Machines) and memoizes the handle,
+  /// so warm calls never lock. Plan construction is deterministic, so
+  /// cached, shared and fresh plans produce bit-identical transforms —
+  /// tested in tests/test_fft.cpp.
   const FftPlan& plan(int n);
 
   /// Reusable complex scratch of at least `count` elements. Grows (and
@@ -69,7 +71,7 @@ class FftWorkspace {
 
   struct Entry {
     int n;
-    std::unique_ptr<FftPlan> plan;
+    std::shared_ptr<const FftPlan> plan;  ///< usually the process-wide plan
   };
   std::vector<Entry> plans_;  ///< few distinct lengths; linear scan
   AlignedComplexVec complex_;  ///< 64-byte aligned for the SIMD stage path

@@ -1,0 +1,96 @@
+#include "filter/bank_cache.hpp"
+
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "util/shared_cache.hpp"
+
+namespace agcm::filter {
+
+namespace {
+
+// Exact-geometry key: dims plus the planet constants (hexfloat, so equal
+// keys mean bit-equal doubles) plus the variable list with kinds. Variable
+// NAMES are part of the key deliberately — the bank exposes them through
+// variable(v).name, so two banks with different names are not
+// interchangeable even when their tables are.
+std::string bank_key(const grid::LatLonGrid& grid,
+                     const std::vector<FilteredVariable>& variables) {
+  std::ostringstream key;
+  key << grid.nlon() << ':' << grid.nlat() << ':' << grid.nlev();
+  key << std::hexfloat << ':' << grid.planet().radius_m << ':'
+      << grid.planet().omega << ':' << grid.planet().gravity;
+  for (const FilteredVariable& v : variables)
+    key << '|' << v.name << ':'
+        << (v.kind == FilterKind::kStrong ? 'S' : 'W');
+  return key.str();
+}
+
+// The bank points at the grid it was built from, so an entry carries its
+// own copy; grid is constructed before bank (declaration order).
+struct BankEntry {
+  grid::LatLonGrid grid;
+  FilterBank bank;
+
+  BankEntry(const grid::LatLonGrid& g, std::vector<FilteredVariable> vars)
+      : grid(g), bank(grid, std::move(vars)) {}
+};
+
+std::shared_ptr<const FilterBank> make_entry(
+    const grid::LatLonGrid& grid, std::vector<FilteredVariable> variables) {
+  auto entry = std::make_shared<BankEntry>(grid, std::move(variables));
+  // Aliasing handle: keeps the whole entry (grid included) alive while
+  // exposing only the bank.
+  return {entry, &entry->bank};
+}
+
+struct BankCache {
+  std::mutex mutex;
+  std::map<std::string, std::shared_ptr<const FilterBank>> banks;
+  util::SharedCacheStats stats;
+
+  static BankCache& instance() {
+    static BankCache cache;
+    return cache;
+  }
+
+ private:
+  BankCache() {
+    util::SharedCaches::register_cache(
+        "filter.banks", [] { clear_bank_cache(); },
+        [] {
+          BankCache& c = instance();
+          std::lock_guard<std::mutex> lock(c.mutex);
+          return c.stats;
+        });
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const FilterBank> shared_bank(
+    const grid::LatLonGrid& grid, std::vector<FilteredVariable> variables) {
+  if (!util::SharedCaches::enabled())
+    return make_entry(grid, std::move(variables));
+  std::string key = bank_key(grid, variables);
+  BankCache& cache = BankCache::instance();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  auto it = cache.banks.find(key);
+  if (it != cache.banks.end()) {
+    ++cache.stats.hits;
+    return it->second;
+  }
+  ++cache.stats.misses;
+  auto bank = make_entry(grid, std::move(variables));
+  cache.banks.emplace(std::move(key), bank);
+  return bank;
+}
+
+void clear_bank_cache() {
+  BankCache& cache = BankCache::instance();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  cache.banks.clear();
+}
+
+}  // namespace agcm::filter

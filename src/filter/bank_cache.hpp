@@ -1,0 +1,39 @@
+// Process-wide FilterBank cache: one immutable bank per (grid geometry,
+// filtered-variable list), shared by every rank of every concurrently
+// running Machine.
+//
+// Rationale (docs/campaign.md): the bank's response tables are O(nlat *
+// nlon) trigonometry and its lazy convolution/partition kernels are
+// O(nlon^2) per filtered row — identical on every rank of every experiment
+// at the same resolution, yet historically rebuilt per rank per run. The
+// tables are pure functions of (grid, variables) and a const FilterBank is
+// already safe to share across rank threads (per-(kind, row) call_once on
+// the lazy members), so promotion to a process-wide cache changes no bits
+// and no virtual-time accounting: bank construction and lazy kernel builds
+// never touch a virtual clock.
+//
+// Each cache entry OWNS a copy of the grid (the bank holds a pointer to
+// it), so a shared bank never dangles when the requesting rank's
+// stack-allocated grid dies with its run.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "filter/bank.hpp"
+
+namespace agcm::filter {
+
+/// The shared bank for (grid, variables); built on first request, immutable
+/// and never evicted (until clear_bank_cache) thereafter. Grids compare by
+/// geometry (dims + planet constants), not identity. With
+/// util::SharedCaches disabled, returns a fresh unshared bank (which still
+/// owns its grid copy, so lifetime rules are uniform).
+std::shared_ptr<const FilterBank> shared_bank(
+    const grid::LatLonGrid& grid, std::vector<FilteredVariable> variables);
+
+/// Drops all cached banks (outstanding references stay valid). Wired into
+/// util::SharedCaches::clear_all().
+void clear_bank_cache();
+
+}  // namespace agcm::filter

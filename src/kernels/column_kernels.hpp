@@ -21,6 +21,23 @@ namespace agcm::kernels {
 /// seed's per-pair expression evaluated once.
 void fill_longwave_emissivity(double* emis, int nlev);
 
+/// Process-wide shared emissivity table for `nlev` layers: the values of
+/// fill_longwave_emissivity (same fill, hence identical bits) published
+/// once and reused by every column of every concurrent Machine, instead of
+/// being refilled per column per step. The hot path is a single acquire
+/// load from a fixed table-of-pointers (no lock after first publication);
+/// pointers stay valid for the process lifetime — a cache clear resets the
+/// slots but never frees published tables, so readers need no fences
+/// beyond the acquire. Returns nullptr (caller falls back to its own
+/// fill_longwave_emissivity scratch) when nlev is out of table range or
+/// util::SharedCaches is disabled.
+const double* shared_longwave_emissivity(int nlev);
+
+/// Resets the shared emissivity slots (published tables intentionally kept
+/// alive — see shared_longwave_emissivity). Wired into
+/// util::SharedCaches::clear_all().
+void clear_emissivity_cache();
+
 /// The longwave exchange sweep: for every layer k1 (in order), accumulate
 /// sum_{k2 != k1} emis[|k1-k2|] * (theta[k2] - theta[k1]) with k2
 /// ascending, then theta[k1] += dt_sec * (exchange - 0.8) / 86400.

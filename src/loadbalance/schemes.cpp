@@ -8,6 +8,16 @@
 
 namespace agcm::lb {
 
+const char* scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kNone: return "none";
+    case Scheme::kCyclic: return "cyclic";
+    case Scheme::kSortedGreedy: return "sorted-greedy";
+    case Scheme::kPairwise: return "pairwise";
+  }
+  return "none";
+}
+
 namespace {
 
 /// Reference to one item inside an ItemLists structure.

@@ -28,6 +28,19 @@
 
 namespace agcm::lb {
 
+/// The paper's load-balancing schemes as a first-class configuration axis
+/// (the campaign matrix sweeps this; core/config_load parses the names).
+enum class Scheme {
+  kNone,          ///< no balancing: every rank keeps its own columns
+  kCyclic,        ///< Scheme 1: cyclic all-to-all shuffle (Figure 4)
+  kSortedGreedy,  ///< Scheme 2: sorted greedy surplus moves (Figure 5)
+  kPairwise,      ///< Scheme 3: iterative sorted pairwise exchange (Figure 6)
+};
+
+/// Canonical config-file name: "none", "cyclic", "sorted-greedy",
+/// "pairwise".
+const char* scheme_name(Scheme scheme);
+
 /// One unit of migratable work (e.g. one grid column of Physics).
 struct Item {
   std::uint64_t id = 0;   ///< caller-defined identity (stable across moves)

@@ -12,6 +12,27 @@
 
 namespace agcm::physics {
 
+const char* physics_regime_name(PhysicsRegime regime) {
+  switch (regime) {
+    case PhysicsRegime::kEquinox: return "equinox";
+    case PhysicsRegime::kJuneSolstice: return "june-solstice";
+    case PhysicsRegime::kDecemberSolstice: return "december-solstice";
+  }
+  return "equinox";
+}
+
+double regime_declination_rad(PhysicsRegime regime) {
+  // Earth's obliquity; positive declination = sun over the northern
+  // hemisphere.
+  constexpr double kObliquityRad = 23.44 * std::numbers::pi / 180.0;
+  switch (regime) {
+    case PhysicsRegime::kEquinox: return 0.0;
+    case PhysicsRegime::kJuneSolstice: return kObliquityRad;
+    case PhysicsRegime::kDecemberSolstice: return -kObliquityRad;
+  }
+  return 0.0;
+}
+
 double cos_solar_zenith(double lat, double lon, double time_sec,
                         double declination_rad) {
   // Hour angle: the sun is overhead at lon = 0 at time 0 and sweeps
@@ -63,17 +84,25 @@ ColumnResult step_column(const ColumnParams& params, std::uint64_t column_id,
   // One KernelWorkspace borrow per column, carved into the longwave
   // emissivity table and the four tridiagonal spans the implicit-diffusion
   // solve needs: [emis | sub | diag | sup | cp]. Growth-only, so the warm
-  // path allocates nothing (tests/test_kernel_alloc.cpp).
+  // path allocates nothing (tests/test_kernel_alloc.cpp). The emis segment
+  // is reserved even when the shared table below supersedes it, keeping
+  // the borrow size (and thus the workspace high-water mark) cache-independent.
   const std::size_t n = static_cast<std::size_t>(nlev);
   kernels::KernelWorkspace& ws = kernels::KernelWorkspace::local();
   std::span<double> scratch = ws.column_buffer(5 * n);
-  double* const emis = scratch.data();
 
   // --- longwave: all layer pairs exchange (O(K^2)) -----------------------
   // Hot sweep in the kernel engine: distance-indexed emissivity table
   // (identical per-pair expression -> identical bits) and a branch-free,
-  // unrolled pair loop. Bitwise identical to step_column_seed_ref.
-  kernels::fill_longwave_emissivity(emis, nlev);
+  // unrolled pair loop. Bitwise identical to step_column_seed_ref. The
+  // table comes from the process-wide shared cache when available (same
+  // fill function, so identical bits); otherwise it is refilled into the
+  // scratch segment per column exactly as the seed did.
+  const double* emis = kernels::shared_longwave_emissivity(nlev);
+  if (emis == nullptr) {
+    kernels::fill_longwave_emissivity(scratch.data(), nlev);
+    emis = scratch.data();
+  }
   kernels::longwave_sweep(theta.data(), nlev, emis, params.dt_sec);
   result.flops += params.flops_longwave_per_pair * nlev * nlev;
 

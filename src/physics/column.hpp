@@ -29,6 +29,26 @@
 
 namespace agcm::physics {
 
+/// Seasonal insolation regime: sets the solar declination, which moves the
+/// day/night terminator and hence the *shape* of the physics load field the
+/// balancing schemes have to chew on. Equinox (declination 0) lights every
+/// latitude for half its longitudes — the historical default, so frozen
+/// artefacts keep their bits. The solstices tilt the terminator by the
+/// Earth's obliquity: one polar cap computes shortwave for every column
+/// while the other computes none, concentrating load in one mesh row.
+enum class PhysicsRegime {
+  kEquinox,           ///< declination 0 (default)
+  kJuneSolstice,      ///< declination +23.44 deg: northern summer
+  kDecemberSolstice,  ///< declination -23.44 deg: southern summer
+};
+
+/// Canonical config-file name: "equinox", "june-solstice",
+/// "december-solstice".
+const char* physics_regime_name(PhysicsRegime regime);
+
+/// The regime's solar declination in radians (0 for equinox).
+double regime_declination_rad(PhysicsRegime regime);
+
 struct ColumnParams {
   int nlev = 9;
   double dt_sec = 450.0;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "loadbalance/exchange.hpp"
 #include "trace/tracer.hpp"
 #include "util/error.hpp"
 
@@ -73,7 +74,7 @@ PhysicsStepStats Physics::step(dynamics::State& state) {
 
   simnet::RankContext& ctx = mesh_->world().context();
 
-  if (!config_.load_balance) {
+  if (!config_.load_balance || config_.lb_scheme == lb::Scheme::kNone) {
     // Straight local pass.
     AGCM_TRACE_SPAN("physics.columns", ctx);
     const double t0 = clock.now();
@@ -100,13 +101,29 @@ PhysicsStepStats Physics::step(dynamics::State& state) {
     return stats;
   }
 
-  // --- Scheme-3 load-balanced pass ---------------------------------------
+  // --- load-balanced pass (configured scheme) ----------------------------
+  // All three executors return the same BalanceResult shape, and
+  // return_to_owners below routes by held origins, so everything from the
+  // held-column compute on is scheme-agnostic.
   const double t_bal0 = clock.now();
   lb::BalanceResult balanced;
   {
     AGCM_TRACE_SPAN("physics.balance", ctx);
-    balanced = lb::balance_pairwise(mesh_->world(), items, payloads, per_item,
-                                    config_.lb_options);
+    switch (config_.lb_scheme) {
+      case lb::Scheme::kCyclic:
+        balanced =
+            lb::balance_cyclic(mesh_->world(), items, payloads, per_item);
+        break;
+      case lb::Scheme::kSortedGreedy:
+        balanced = lb::balance_sorted_greedy(mesh_->world(), items, payloads,
+                                             per_item);
+        break;
+      case lb::Scheme::kNone:  // handled above; kept for -Wswitch
+      case lb::Scheme::kPairwise:
+        balanced = lb::balance_pairwise(mesh_->world(), items, payloads,
+                                        per_item, config_.lb_options);
+        break;
+    }
   }
   stats.imbalance_before = balanced.imbalance_before;
   stats.imbalance_after = balanced.imbalance_after;

@@ -18,7 +18,11 @@ namespace agcm::physics {
 struct PhysicsConfig {
   ColumnParams column;
   bool load_balance = false;
-  lb::PairwiseOptions lb_options{};  ///< two iterations by default
+  /// Which of the paper's schemes runs when load_balance is on. Pairwise
+  /// (Scheme 3, the adopted one) preserves the historical meaning of the
+  /// plain load_balance flag; kNone here disables balancing outright.
+  lb::Scheme lb_scheme = lb::Scheme::kPairwise;
+  lb::PairwiseOptions lb_options{};  ///< Scheme 3 only; two iterations
 };
 
 /// Virtual-time accounting for the last physics pass (this rank).

@@ -1,0 +1,59 @@
+#include "util/shared_cache.hpp"
+
+#include <atomic>
+#include <mutex>
+
+namespace agcm::util {
+
+namespace {
+
+struct Registered {
+  std::string name;
+  void (*clear)();
+  SharedCacheStats (*stats)();
+};
+
+std::atomic<bool> g_enabled{true};
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<Registered>& registry() {
+  static std::vector<Registered> r;
+  return r;
+}
+
+}  // namespace
+
+bool SharedCaches::enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+bool SharedCaches::set_enabled(bool on) {
+  return g_enabled.exchange(on, std::memory_order_relaxed);
+}
+
+void SharedCaches::clear_all() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (const Registered& cache : registry()) cache.clear();
+}
+
+std::vector<SharedCacheInfo> SharedCaches::stats() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<SharedCacheInfo> out;
+  out.reserve(registry().size());
+  for (const Registered& cache : registry())
+    out.push_back({cache.name, cache.stats()});
+  return out;
+}
+
+int SharedCaches::register_cache(std::string name, void (*clear)(),
+                                 SharedCacheStats (*stats)()) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().push_back({std::move(name), clear, stats});
+  return static_cast<int>(registry().size()) - 1;
+}
+
+}  // namespace agcm::util

@@ -1,0 +1,75 @@
+// Process-wide shared-cache registry: the single switch and bookkeeping
+// point for every read-only cache shared across concurrent Machines (FFT
+// stage plans, FilterBank response/kernel tables, the longwave emissivity
+// table — see docs/campaign.md for the safety argument).
+//
+// Contract for a participating cache:
+//   * entries are IMMUTABLE after publication and never evicted while in
+//     use (handed out as shared_ptr, or as pointers into never-freed
+//     storage), so readers need no locks after acquisition;
+//   * construction is deterministic — a cached entry is bit-identical to
+//     one built fresh — so enabling the caches changes no results and no
+//     virtual-time accounting (the frozen-artefact rule);
+//   * the cache registers itself here on first use, exposing a clear hook
+//     and hit/miss counters.
+//
+// `set_enabled(false)` makes every participating cache fall back to its
+// historical per-rank / per-call construction path — the "cold cache"
+// baseline the campaign throughput bench measures against. The toggle is
+// read at acquisition time only; entries already handed out stay valid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace agcm::util {
+
+struct SharedCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;  ///< entries actually built
+};
+
+struct SharedCacheInfo {
+  std::string name;
+  SharedCacheStats stats;
+};
+
+class SharedCaches {
+ public:
+  /// True (the default) unless disabled for a cold-cache baseline.
+  static bool enabled();
+  /// Flip the process-wide toggle; returns the previous value. Not meant
+  /// to be raced against concurrent acquisitions mid-campaign — flip it
+  /// between runs (benches/tests only; production leaves it on).
+  static bool set_enabled(bool on);
+
+  /// Drops every registered cache's entries (outstanding shared_ptr
+  /// references stay alive). The cold-cache baseline calls this between
+  /// cells so each experiment rebuilds its immutable state from scratch.
+  static void clear_all();
+
+  /// Registered caches with their counters, registration order.
+  static std::vector<SharedCacheInfo> stats();
+
+  /// Called by a cache on first use. `clear` drops its entries; `stats`
+  /// reports its counters. Both must be callable concurrently with
+  /// acquisitions. Returns an id (unused today; reserved for unregister).
+  static int register_cache(std::string name, void (*clear)(),
+                            SharedCacheStats (*stats)());
+
+  /// RAII toggle for tests/benches: disables (or enables) on construction,
+  /// restores on destruction.
+  class ScopedEnable {
+   public:
+    explicit ScopedEnable(bool on) : previous_(set_enabled(on)) {}
+    ~ScopedEnable() { set_enabled(previous_); }
+    ScopedEnable(const ScopedEnable&) = delete;
+    ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+   private:
+    bool previous_;
+  };
+};
+
+}  // namespace agcm::util

@@ -1,0 +1,124 @@
+// Allocation-stability test for campaign serving: constructing, running
+// and destroying the same experiment repeatedly must not grow the heap
+// traffic per run. The expensive immutable state (FFT plans, FilterBank
+// kernel spectra, emissivity tables) lives in the process-wide shared
+// caches (util/shared_cache.hpp), so after the first run every later run
+// allocates exactly the same, strictly smaller, amount — no per-Machine
+// duplication of cached state, and no cache that quietly grows on every
+// acquisition (the ISSUE 9 call_once audit, as a regression fence).
+//
+// The global operator new/delete counting hook follows
+// tests/test_kernel_alloc.cpp; it lives in its own binary so the hook
+// cannot perturb the other suites.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/model.hpp"
+#include "util/shared_cache.hpp"
+
+namespace {
+std::atomic<std::size_t> g_new_calls{0};
+}  // namespace
+
+// Counting global allocator: malloc passthrough (sanitizer-friendly — ASan
+// still sees the underlying malloc/free).
+void* operator new(std::size_t size) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                               ((size + static_cast<std::size_t>(align) - 1) /
+                                static_cast<std::size_t>(align)) *
+                                   static_cast<std::size_t>(align));
+  if (p) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace agcm {
+namespace {
+
+std::size_t allocs() { return g_new_calls.load(std::memory_order_relaxed); }
+
+core::ModelConfig small_cell() {
+  core::ModelConfig config;
+  config.nlon = 48;
+  config.nlat = 30;
+  config.nlev = 3;
+  config.mesh_rows = 1;
+  config.mesh_cols = 1;
+  config.physics_load_balance = true;
+  return config;
+}
+
+std::size_t allocs_for_one_run(const core::ModelConfig& config) {
+  const std::size_t before = allocs();
+  (void)core::run_model(config, /*steps=*/1, /*warmup_steps=*/1);
+  return allocs() - before;
+}
+
+TEST(CampaignAllocStable, RepeatedRunsAllocateIdentically) {
+  util::SharedCaches::ScopedEnable on(true);
+  util::SharedCaches::clear_all();
+  const core::ModelConfig config = small_cell();
+
+  const std::size_t cold = allocs_for_one_run(config);
+  const std::size_t warm2 = allocs_for_one_run(config);
+  const std::size_t warm3 = allocs_for_one_run(config);
+  const std::size_t warm4 = allocs_for_one_run(config);
+
+  // The first run builds the shared immutable state; later runs reuse it.
+  EXPECT_LT(warm2, cold)
+      << "second run rebuilt state the shared caches should hold";
+  // Steady state: every warm construct/run/destroy cycle allocates exactly
+  // the same amount — any growth means some cache or registry is
+  // accumulating per-Machine state.
+  EXPECT_EQ(warm3, warm4) << "warm runs are not allocation-stable";
+  EXPECT_LE(warm4, warm2) << "per-run allocations grew across repeats";
+}
+
+TEST(CampaignAllocStable, DisabledCachesStayColdButStable) {
+  util::SharedCaches::ScopedEnable off(false);
+  util::SharedCaches::clear_all();
+  const core::ModelConfig config = small_cell();
+
+  const std::size_t run1 = allocs_for_one_run(config);
+  const std::size_t run2 = allocs_for_one_run(config);
+  const std::size_t run3 = allocs_for_one_run(config);
+  // With sharing off every run rebuilds everything: same count each time,
+  // and never less than a warm shared-cache run would need.
+  EXPECT_EQ(run2, run3);
+  EXPECT_LE(run1, run2 + run2 / 4)
+      << "first disabled run allocated wildly more than later ones";
+}
+
+}  // namespace
+}  // namespace agcm

@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""Index, filter and validate campaign result stores (agcm-campaign-v1).
+
+A store is the JSON-lines file written by `campaign_run` (or
+`campaign::write_store`): one record per experiment, carrying the config
+hash, the canonical config, the virtual-time breakdown and diagnostics,
+and optionally the host wall time. See docs/campaign.md.
+
+Usage:
+    tools/campaign_query.py store.jsonl [more.jsonl ...] [options]
+
+Filters (AND-ed; a record must match all of them):
+    --campaign NAME       campaign name equals NAME
+    --cell SUBSTR         cell name contains SUBSTR
+    --hash PREFIX         config_hash starts with PREFIX
+    --where KEY=VALUE     config key equals VALUE (repeatable), e.g.
+                          --where machine=Cray\\ T3D --where lb_scheme=pairwise
+
+Output (default: an index table, one row per record):
+    --fields a,b,c        table columns as dotted paths into the record
+                          (e.g. virtual.total_per_day_sec, config.nlon)
+    --sort PATH           sort rows by this dotted path (numeric if possible)
+    --json                print matching records as JSON lines instead
+    --strip-wall          with --json: drop wall_sec (and any other wall-
+                          clock field) so the output is byte-comparable
+                          across hosts and runs
+    --check               validate every record against the schema and exit
+                          (0 = all valid); combine with filters to narrow
+
+Standard library only, so CI can run it anywhere.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Iterator
+
+SCHEMA = "agcm-campaign-v1"
+
+# Host-dependent fields stripped by --strip-wall; everything else in a
+# record is virtual or configuration, deterministic by construction.
+WALL_FIELDS = ("wall_sec",)
+
+REQUIRED_TOP = {
+    "schema": str,
+    "campaign": str,
+    "cell": str,
+    "config_hash": str,
+    "config": dict,
+    "virtual": dict,
+    "diagnostics": dict,
+}
+
+REQUIRED_VIRTUAL = (
+    "steps",
+    "filter_per_step_sec",
+    "halo_per_step_sec",
+    "fd_per_step_sec",
+    "physics_compute_per_step_sec",
+    "physics_balance_per_step_sec",
+    "dynamics_per_day_sec",
+    "physics_per_day_sec",
+    "total_per_day_sec",
+    "filter_setup_sec",
+)
+
+REQUIRED_DIAGNOSTICS = (
+    "physics_imbalance_before",
+    "physics_imbalance_after",
+    "mass_drift_rel",
+    "max_zonal_courant",
+    "max_gravity_courant",
+    "total_messages",
+    "total_bytes",
+)
+
+DEFAULT_FIELDS = (
+    "config_hash",
+    "cell",
+    "virtual.total_per_day_sec",
+    "wall_sec",
+)
+
+
+def read_records(paths: list[str]) -> Iterator[tuple[str, int, dict]]:
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as err:
+                    raise ValueError(f"{path}:{lineno}: bad JSON: {err}")
+                if not isinstance(record, dict):
+                    raise ValueError(f"{path}:{lineno}: record is not an "
+                                     "object")
+                yield path, lineno, record
+
+
+def lookup(record: dict, path: str) -> Any:
+    """Resolves a dotted path; missing components yield None."""
+    node: Any = record
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def matches(record: dict, args: argparse.Namespace) -> bool:
+    if args.campaign is not None and record.get("campaign") != args.campaign:
+        return False
+    if args.cell is not None and args.cell not in str(record.get("cell", "")):
+        return False
+    if args.hash is not None and not str(
+        record.get("config_hash", "")
+    ).startswith(args.hash):
+        return False
+    for clause in args.where:
+        key, _, value = clause.partition("=")
+        if str(lookup(record, "config." + key)) != value:
+            return False
+    return True
+
+
+def validate(where: str, record: dict) -> list[str]:
+    errors = []
+    for key, kind in REQUIRED_TOP.items():
+        if key not in record:
+            errors.append(f"missing '{key}'")
+        elif not isinstance(record[key], kind):
+            errors.append(f"'{key}' must be {kind.__name__}")
+    if errors:
+        return [f"{where}: {e}" for e in errors]
+    if record["schema"] != SCHEMA:
+        errors.append(f"schema is {record['schema']!r}, want {SCHEMA!r}")
+    if len(record["config_hash"]) != 16 or any(
+        c not in "0123456789abcdef" for c in record["config_hash"]
+    ):
+        errors.append("config_hash must be 16 lowercase hex digits")
+    for key in REQUIRED_VIRTUAL:
+        value = record["virtual"].get(key)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            errors.append(f"virtual.{key} must be a number")
+    for key in REQUIRED_DIAGNOSTICS:
+        value = record["diagnostics"].get(key)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            errors.append(f"diagnostics.{key} must be a number")
+    if not all(isinstance(v, str) for v in record["config"].values()):
+        errors.append("config values must all be strings")
+    if "wall_sec" in record:
+        value = record["wall_sec"]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            errors.append("wall_sec must be a number")
+        elif value < 0:
+            errors.append("wall_sec must be non-negative")
+    return [f"{where}: {e}" for e in errors]
+
+
+def sort_key(value: Any) -> tuple[int, Any]:
+    """Numbers before strings before missing, numerically where possible."""
+    if value is None:
+        return (2, "")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (0, value)
+    try:
+        return (0, float(value))
+    except (TypeError, ValueError):
+        return (1, str(value))
+
+
+def render(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def print_table(rows: list[list[str]], headers: list[str]) -> None:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    print(fmt.format(*headers))
+    print(fmt.format(*("-" * w for w in widths)))
+    for row in rows:
+        print(fmt.format(*row))
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("stores", nargs="+", help="JSON-lines store file(s)")
+    parser.add_argument("--campaign")
+    parser.add_argument("--cell")
+    parser.add_argument("--hash")
+    parser.add_argument("--where", action="append", default=[],
+                        metavar="KEY=VALUE")
+    parser.add_argument("--fields", default=",".join(DEFAULT_FIELDS))
+    parser.add_argument("--sort", metavar="PATH")
+    parser.add_argument("--json", action="store_true")
+    parser.add_argument("--strip-wall", action="store_true")
+    parser.add_argument("--check", action="store_true")
+    args = parser.parse_args(argv[1:])
+
+    for clause in args.where:
+        if "=" not in clause:
+            parser.error(f"--where needs KEY=VALUE, got {clause!r}")
+    if args.strip_wall and not (args.json or args.check):
+        parser.error("--strip-wall only makes sense with --json")
+
+    try:
+        records = [
+            (path, lineno, record)
+            for path, lineno, record in read_records(args.stores)
+            if matches(record, args)
+        ]
+    except (OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+    if args.check:
+        errors: list[str] = []
+        for path, lineno, record in records:
+            errors.extend(validate(f"{path}:{lineno}", record))
+        for error in errors:
+            print(f"FAIL {error}", file=sys.stderr)
+        if not errors:
+            print(f"ok   {len(records)} record(s) valid ({SCHEMA})")
+        return 1 if errors else 0
+
+    if args.sort:
+        records.sort(key=lambda r: sort_key(lookup(r[2], args.sort)))
+
+    if args.json:
+        for _, _, record in records:
+            if args.strip_wall:
+                record = {
+                    k: v for k, v in record.items() if k not in WALL_FIELDS
+                }
+            print(json.dumps(record, separators=(",", ":")))
+        return 0
+
+    fields = [f.strip() for f in args.fields.split(",") if f.strip()]
+    rows = [
+        [render(lookup(record, f)) for f in fields]
+        for _, _, record in records
+    ]
+    print_table(rows, fields)
+    print(f"{len(records)} record(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -100,6 +100,23 @@ REQUIRED_FIELDS = {
         "p1024_completed": bool,
         "gates_passed": bool,
     },
+    # Self-gating: >=3x concurrent shared-cache throughput over sequential
+    # cold-cache, plus the store determinism fences (bench exits nonzero
+    # when any fails). The wall/throughput numbers are host-dependent; the
+    # two store_* booleans and gates_passed are the portable verdict.
+    "campaign_throughput": {
+        "cells": float,
+        "concurrency": float,
+        "wall_cold_sec": float,
+        "wall_concurrent_sec": float,
+        "throughput_cold_eps": float,
+        "throughput_concurrent_eps": float,
+        "speedup": float,
+        "gate_speedup_min": float,
+        "store_deterministic": bool,
+        "store_matches_standalone": bool,
+        "gates_passed": bool,
+    },
     "scaling_model": {
         "perf_model_path": str,
         "fit_conv_exponent_a": float,
@@ -181,6 +198,12 @@ def check_required_fields(path: str, doc: dict) -> str:
         return (
             f", P=64 fibers {doc['p64_speedup']:.2f}x threads, virtual "
             f"times match={doc['virtual_times_match']}, gates_passed="
+            f"{doc['gates_passed']}"
+        )
+    if doc["bench"] == "campaign_throughput":
+        return (
+            f", {doc['cells']:g} cells, {doc['speedup']:.2f}x, store "
+            f"deterministic={doc['store_deterministic']}, gates_passed="
             f"{doc['gates_passed']}"
         )
     if doc["bench"] == "scaling_model":
