@@ -6,27 +6,55 @@
 //   $ ./campaign_run ../configs/campaign_smoke.cfg --out results.jsonl \
 //        --concurrency 4
 //
+// With a trained performance model the driver plans admission before
+// running anything: cells are ordered cheapest-first by predicted per-day
+// virtual cost and, under --budget, only the prefix that fits is run.
+//
+//   $ ./campaign_run ../configs/campaign_smoke.cfg \
+//        --predict PREDICT_MODEL.json --budget 1200 --out results.jsonl
+//
 // Flags:
 //   --out <path>        store file (default: campaign_results.jsonl)
 //   --concurrency <N>   experiments in flight at once (default 4)
 //   --append            append to the store instead of replacing it
 //   --no-wall           omit wall_sec from records (byte-stable store)
 //   --list              print the expanded matrix and exit without running
+//   --predict <path>    PREDICT_MODEL.json; plan admission and record
+//                       predictions alongside actuals
+//   --budget <sec>      predicted virtual sec/day cap (requires --predict)
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "campaign/matrix.hpp"
+#include "campaign/planner.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/store.hpp"
 #include "io/config.hpp"
+#include "perfmodel/predict.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s <campaign.cfg> [--out <path>] [--concurrency N] "
+               "[--append] [--no-wall] [--list] [--predict <model.json>] "
+               "[--budget <sec/day>]\n",
+               prog);
+  return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace agcm;
   std::string config_path;
   std::string out_path = "campaign_results.jsonl";
+  std::string model_path;
+  double budget = -1.0;
+  bool have_budget = false;
   int concurrency = 4;
   bool append = false;
   bool include_wall = true;
@@ -38,6 +66,11 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--concurrency" && i + 1 < argc) {
       concurrency = std::atoi(argv[++i]);
+    } else if (arg == "--predict" && i + 1 < argc) {
+      model_path = argv[++i];
+    } else if (arg == "--budget" && i + 1 < argc) {
+      budget = std::atof(argv[++i]);
+      have_budget = true;
     } else if (arg == "--append") {
       append = true;
     } else if (arg == "--no-wall") {
@@ -47,17 +80,12 @@ int main(int argc, char** argv) {
     } else if (config_path.empty() && arg[0] != '-') {
       config_path = arg;
     } else {
-      std::fprintf(stderr,
-                   "usage: %s <campaign.cfg> [--out <path>] "
-                   "[--concurrency N] [--append] [--no-wall] [--list]\n",
-                   argv[0]);
-      return 2;
+      return usage(argv[0]);
     }
   }
-  if (config_path.empty() || concurrency < 1) {
-    std::fprintf(stderr, "usage: %s <campaign.cfg> [--out <path>] "
-                         "[--concurrency N] [--append] [--no-wall] [--list]\n",
-                 argv[0]);
+  if (config_path.empty() || concurrency < 1) return usage(argv[0]);
+  if (have_budget && model_path.empty()) {
+    std::fprintf(stderr, "error: --budget requires --predict <model.json>\n");
     return 2;
   }
 
@@ -78,8 +106,26 @@ int main(int argc, char** argv) {
 
     campaign::RunnerOptions options;
     options.concurrency = concurrency;
-    const std::vector<campaign::CellResult> results =
-        campaign::run_campaign(matrix, options);
+
+    std::vector<campaign::CellResult> results;
+    if (!model_path.empty()) {
+      const perfmodel::PredictModel model = perfmodel::load_model(model_path);
+      const campaign::AdmissionPlan plan =
+          campaign::plan_admission(matrix, model, budget);
+      std::printf(
+          "planned: %zu admitted, %zu over budget "
+          "(predicted %.3f virtual s/day%s)\n",
+          plan.admitted.size(), plan.skipped.size(),
+          plan.admitted_predicted_per_day_sec,
+          have_budget ? ", capped" : "");
+      for (const campaign::PlannedCell& cell : plan.skipped)
+        std::printf("  skipped %s (predicted %.3f s/day)\n",
+                    matrix.cells[cell.index].name.c_str(),
+                    cell.predicted_per_day_sec);
+      results = campaign::run_planned(matrix, plan, options);
+    } else {
+      results = campaign::run_campaign(matrix, options);
+    }
 
     campaign::write_store(out_path, matrix.name, results, include_wall,
                           append);

@@ -44,7 +44,9 @@ std::vector<CellResult> run_campaign(const Campaign& campaign,
             core::run_model(config, cell.spec.steps, cell.spec.warmup_steps);
         const std::chrono::duration<double> wall =
             std::chrono::steady_clock::now() - t0;
-        results[index] = {cell, std::move(report), wall.count()};
+        results[index].cell = cell;
+        results[index].report = std::move(report);
+        results[index].wall_sec = wall.count();
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();

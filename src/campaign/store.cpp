@@ -51,6 +51,17 @@ trace::JsonValue store_record(const std::string& campaign_name,
   virt.set("filter_setup_sec", report.filter_setup_sec);
   record.set("virtual", virt);
 
+  // Admission-planner prediction (when present): the per-step component
+  // forecast the cell was admitted under, plus the per-day total the
+  // budget was charged against. campaign_query.py --drift reads this
+  // block against "virtual" to make model rot observable.
+  if (result.has_prediction) {
+    trace::JsonValue predicted = perfmodel::prediction_json(result.prediction);
+    predicted.set("total_per_day_sec",
+                  result.prediction.total() * report.steps_per_day);
+    record.set("predicted", predicted);
+  }
+
   trace::JsonValue diag = trace::JsonValue::object();
   diag.set("physics_imbalance_before", report.physics_imbalance_before);
   diag.set("physics_imbalance_after", report.physics_imbalance_after);
@@ -59,6 +70,26 @@ trace::JsonValue store_record(const std::string& campaign_name,
   diag.set("max_gravity_courant", report.max_gravity_courant);
   diag.set("total_messages", report.total_messages);
   diag.set("total_bytes", report.total_bytes);
+
+  // Per-phase tail percentiles over every (rank, timed step) sample —
+  // log-binned histogram estimates, order-independent and therefore
+  // byte-stable at any serving concurrency (core/model.hpp).
+  trace::JsonValue percentiles = trace::JsonValue::object();
+  const auto phase_block = [](const core::PhasePercentiles& p) {
+    trace::JsonValue block = trace::JsonValue::object();
+    block.set("p50", p.p50);
+    block.set("p95", p.p95);
+    block.set("p99", p.p99);
+    return block;
+  };
+  percentiles.set("filter", phase_block(report.percentiles.filter));
+  percentiles.set("halo", phase_block(report.percentiles.halo));
+  percentiles.set("fd", phase_block(report.percentiles.fd));
+  percentiles.set("physics_compute",
+                  phase_block(report.percentiles.physics_compute));
+  percentiles.set("physics_balance",
+                  phase_block(report.percentiles.physics_balance));
+  diag.set("phase_percentiles", percentiles);
   record.set("diagnostics", diag);
 
   if (include_wall) record.set("wall_sec", result.wall_sec);

@@ -20,6 +20,7 @@
 
 #include "campaign/matrix.hpp"
 #include "core/model.hpp"
+#include "perfmodel/predict.hpp"
 #include "trace/json.hpp"
 
 namespace agcm::campaign {
@@ -27,11 +28,15 @@ namespace agcm::campaign {
 inline constexpr const char* kStoreSchema = "agcm-campaign-v1";
 
 /// One completed experiment: the cell, its report, and the measured host
-/// time (the only nondeterministic field).
+/// time (the only nondeterministic field). When the cell was admitted by
+/// the planner (planner.hpp) the record also carries the model's
+/// prediction, so predicted-vs-actual drift is queryable from the store.
 struct CellResult {
   Cell cell;
   core::RunReport report;
   double wall_sec = 0.0;
+  bool has_prediction = false;
+  perfmodel::Prediction prediction;
 };
 
 /// Builds the store record for one result. With include_wall false the

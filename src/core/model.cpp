@@ -6,6 +6,7 @@
 
 #include "comm/mesh2d.hpp"
 #include "simnet/machine.hpp"
+#include "trace/histogram.hpp"
 #include "trace/metrics.hpp"
 #include "trace/tracer.hpp"
 #include "util/error.hpp"
@@ -18,6 +19,7 @@ namespace {
 /// Everything one rank accumulates for the report.
 struct RankOutcome {
   ComponentTimes accumulated;  ///< summed over timed steps
+  std::vector<ComponentTimes> step_samples;  ///< one entry per timed step
   double physics_flops_last = 0.0;
   double imbalance_before = 0.0;
   double imbalance_after = 0.0;
@@ -126,6 +128,11 @@ RunReport run_model(const ModelConfig& config, int steps, int warmup_steps) {
         out.accumulated.fd += dyn_t.fd_sec;
         out.accumulated.physics_compute += phys_compute;
         out.accumulated.physics_balance += phys_balance;
+        // Per-(rank, step) sample for the tail percentiles; pure
+        // bookkeeping, never touches any virtual clock.
+        out.step_samples.push_back({dyn_t.filter_sec, dyn_t.halo_sec,
+                                    dyn_t.fd_sec, phys_compute,
+                                    phys_balance});
         out.physics_flops_last = phys.last_timings().local_flops;
         out.imbalance_before = phys_stats.imbalance_before;
         out.imbalance_after = phys_stats.imbalance_after;
@@ -162,6 +169,31 @@ RunReport run_model(const ModelConfig& config, int steps, int warmup_steps) {
     report.filter_setup_sec =
         std::max(report.filter_setup_sec, out.filter_setup_sec);
   }
+  // Tail percentiles over every (rank, timed step) sample. The log-binned
+  // histogram makes them order-independent, so concurrent campaign serving
+  // reproduces them bit-for-bit.
+  {
+    trace::LogHistogram filter_h, halo_h, fd_h, compute_h, balance_h;
+    for (const RankOutcome& out : outcomes) {
+      for (const ComponentTimes& sample : out.step_samples) {
+        filter_h.add(sample.filter);
+        halo_h.add(sample.halo);
+        fd_h.add(sample.fd);
+        compute_h.add(sample.physics_compute);
+        balance_h.add(sample.physics_balance);
+      }
+    }
+    const auto summarize = [](const trace::LogHistogram& h) {
+      return PhasePercentiles{h.percentile(50.0), h.percentile(95.0),
+                              h.percentile(99.0)};
+    };
+    report.percentiles.filter = summarize(filter_h);
+    report.percentiles.halo = summarize(halo_h);
+    report.percentiles.fd = summarize(fd_h);
+    report.percentiles.physics_compute = summarize(compute_h);
+    report.percentiles.physics_balance = summarize(balance_h);
+  }
+
   report.physics_imbalance_before = outcomes.front().imbalance_before;
   report.physics_imbalance_after = outcomes.front().imbalance_after;
 

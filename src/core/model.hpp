@@ -74,10 +74,31 @@ struct ComponentTimes {
   double total() const { return dynamics() + physics(); }
 };
 
+/// p50/p95/p99 of one component's per-(rank, timed-step) virtual-time
+/// samples — the tail view the max-over-ranks averages hide. Estimated
+/// with the log-binned histogram (trace/histogram.hpp), so the values are
+/// order-independent and bit-deterministic at any concurrency.
+struct PhasePercentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Percentiles for each of the paper's five components.
+struct ComponentPercentiles {
+  PhasePercentiles filter;
+  PhasePercentiles halo;
+  PhasePercentiles fd;
+  PhasePercentiles physics_compute;
+  PhasePercentiles physics_balance;
+};
+
 struct RunReport {
   int steps = 0;
   double steps_per_day = 0.0;
   ComponentTimes per_step;  ///< average over timed steps, max over ranks
+  /// Tail behaviour over all (rank, timed step) samples per component.
+  ComponentPercentiles percentiles;
 
   double dynamics_per_day() const { return per_step.dynamics() * steps_per_day; }
   double physics_per_day() const { return per_step.physics() * steps_per_day; }

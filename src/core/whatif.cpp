@@ -1,0 +1,48 @@
+#include "core/whatif.hpp"
+
+#include "filter/variants.hpp"
+
+namespace agcm::core {
+
+perfmodel::Point point_from(const ModelConfig& config) {
+  perfmodel::Point p;
+  p.nlon = config.nlon;
+  p.nlat = config.nlat;
+  p.nlev = config.nlev;
+  p.mesh_rows = config.mesh_rows;
+  p.mesh_cols = config.mesh_cols;
+  p.lb_enabled = config.physics_enabled && config.physics_load_balance;
+  p.lb_rounds = p.lb_enabled ? config.lb_options.max_iterations : 0;
+  p.machine = config.machine.name;
+  p.filter_backend = std::string(filter::algorithm_name(config.filter_algorithm));
+  p.flops_per_sec = config.machine.flops_per_sec;
+  p.mem_bytes_per_sec = config.machine.mem_bytes_per_sec;
+  p.msg_latency_sec = config.machine.msg_latency_sec;
+  p.link_bytes_per_sec = config.machine.link_bytes_per_sec;
+  p.send_overhead_sec = config.machine.send_overhead_sec;
+  p.recv_overhead_sec = config.machine.recv_overhead_sec;
+  p.loop_startup_elems = config.machine.loop_startup_elems;
+  return p;
+}
+
+perfmodel::Observation observation_from(const ModelConfig& config,
+                                        const RunReport& report) {
+  perfmodel::Observation obs;
+  obs.point = point_from(config);
+  obs.actual.filter = report.per_step.filter;
+  obs.actual.halo = report.per_step.halo;
+  obs.actual.fd = report.per_step.fd;
+  obs.actual.physics_compute = report.per_step.physics_compute;
+  obs.actual.physics_balance = report.per_step.physics_balance;
+  obs.filter_enabled = config.use_polar_filter;
+  obs.physics_enabled = config.physics_enabled;
+  return obs;
+}
+
+perfmodel::Prediction predict_config(const perfmodel::PredictModel& model,
+                                     const ModelConfig& config) {
+  return perfmodel::predict(model, point_from(config), config.use_polar_filter,
+                            config.physics_enabled);
+}
+
+}  // namespace agcm::core

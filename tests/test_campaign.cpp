@@ -13,11 +13,14 @@
 #include <vector>
 
 #include "campaign/matrix.hpp"
+#include "campaign/planner.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/store.hpp"
 #include "core/config_load.hpp"
 #include "core/model.hpp"
+#include "core/whatif.hpp"
 #include "io/config.hpp"
+#include "perfmodel/predict.hpp"
 #include "util/error.hpp"
 #include "util/shared_cache.hpp"
 
@@ -321,6 +324,136 @@ TEST(PhysicsRegimeKnob, SolsticeChangesResults) {
   EXPECT_NE(equinox, june);
   EXPECT_NE(equinox, december);
   EXPECT_NE(june, december);
+}
+
+// --- admission planner (ISSUE 10) -----------------------------------------
+
+/// A 6-cell training matrix (3 resolutions x lb on/off) rich enough to fit
+/// the filter, fd and both physics predictors the small matrix needs.
+const char* kTrainMatrix = R"(campaign = train
+nlon = 48
+nlat = 30
+nlev = 3
+mesh_rows = 1
+mesh_cols = 1
+steps = 1
+warmup_steps = 1
+sweep_resolutions = 48x30x3, 64x42x3, 96x64x4
+sweep_lb_schemes = none, pairwise
+)";
+
+perfmodel::PredictModel trained_model() {
+  const Campaign train =
+      campaign::campaign_from(io::Config::from_string(kTrainMatrix));
+  RunnerOptions options;
+  options.concurrency = 2;
+  const std::vector<CellResult> results =
+      campaign::run_campaign(train, options);
+  std::vector<perfmodel::Observation> observations;
+  for (std::size_t i = 0; i < results.size(); ++i)
+    observations.push_back(
+        core::observation_from(train.cells[i].spec.model, results[i].report));
+  return perfmodel::train_model(observations);
+}
+
+TEST(CampaignPlanner, OrdersCheapestFirstAndBudgetAdmitsPrefix) {
+  const perfmodel::PredictModel model = trained_model();
+  const Campaign matrix = small_matrix();
+
+  const campaign::AdmissionPlan unlimited =
+      campaign::plan_admission(matrix, model);
+  ASSERT_EQ(unlimited.admitted.size(), matrix.cells.size());
+  EXPECT_TRUE(unlimited.skipped.empty());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < unlimited.admitted.size(); ++i) {
+    const campaign::PlannedCell& cell = unlimited.admitted[i];
+    EXPECT_GT(cell.predicted_per_day_sec, 0.0);
+    if (i > 0) {
+      EXPECT_GE(cell.predicted_per_day_sec,
+                unlimited.admitted[i - 1].predicted_per_day_sec);
+    }
+    // The planner's forecast is exactly the what-if adapter's.
+    const perfmodel::Prediction direct = core::predict_config(
+        model, matrix.cells[cell.index].spec.model);
+    EXPECT_DOUBLE_EQ(cell.prediction.total(), direct.total());
+    sum += cell.predicted_per_day_sec;
+  }
+  EXPECT_DOUBLE_EQ(unlimited.admitted_predicted_per_day_sec, sum);
+
+  // A budget covering exactly the two cheapest cells admits exactly them.
+  const double budget = unlimited.admitted[0].predicted_per_day_sec +
+                        unlimited.admitted[1].predicted_per_day_sec;
+  const campaign::AdmissionPlan capped =
+      campaign::plan_admission(matrix, model, budget);
+  ASSERT_EQ(capped.admitted.size(), 2u);
+  EXPECT_EQ(capped.skipped.size(), matrix.cells.size() - 2);
+  EXPECT_EQ(capped.admitted[0].index, unlimited.admitted[0].index);
+  EXPECT_EQ(capped.admitted[1].index, unlimited.admitted[1].index);
+  EXPECT_DOUBLE_EQ(capped.admitted_predicted_per_day_sec, budget);
+
+  // A zero budget admits nothing (every cell costs > 0).
+  const campaign::AdmissionPlan zero =
+      campaign::plan_admission(matrix, model, 0.0);
+  EXPECT_TRUE(zero.admitted.empty());
+  EXPECT_EQ(zero.skipped.size(), matrix.cells.size());
+}
+
+TEST(CampaignPlanner, RunPlannedAttachesPredictionsDeterministically) {
+  const perfmodel::PredictModel model = trained_model();
+  const Campaign matrix = small_matrix();
+  const campaign::AdmissionPlan plan = campaign::plan_admission(matrix, model);
+
+  const auto run_planned_store = [&](int concurrency) {
+    RunnerOptions options;
+    options.concurrency = concurrency;
+    const std::vector<CellResult> results =
+        campaign::run_planned(matrix, plan, options);
+    return campaign::store_lines(matrix.name, results,
+                                 /*include_wall=*/false);
+  };
+  const std::string serial = run_planned_store(1);
+  EXPECT_EQ(serial, run_planned_store(4));
+
+  RunnerOptions options;
+  const std::vector<CellResult> results =
+      campaign::run_planned(matrix, plan, options);
+  ASSERT_EQ(results.size(), plan.admitted.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].has_prediction);
+    EXPECT_DOUBLE_EQ(results[i].prediction.total(),
+                     plan.admitted[i].prediction.total());
+    // Results come back in plan (cheapest-first) order.
+    EXPECT_EQ(results[i].cell.name,
+              matrix.cells[plan.admitted[i].index].name);
+    const std::string record =
+        campaign::store_record(matrix.name, results[i],
+                               /*include_wall=*/false)
+            .dump();
+    EXPECT_NE(record.find("\"predicted\":{"), std::string::npos);
+    EXPECT_NE(record.find("\"total_per_day_sec\""), std::string::npos);
+  }
+}
+
+TEST(CampaignStore, RecordsCarryPhasePercentiles) {
+  Campaign matrix = small_matrix();
+  matrix.cells.resize(1);
+  RunnerOptions options;
+  const std::vector<CellResult> results =
+      campaign::run_campaign(matrix, options);
+  ASSERT_EQ(results.size(), 1u);
+  const std::string record =
+      campaign::store_record(matrix.name, results[0], /*include_wall=*/false)
+          .dump();
+  EXPECT_NE(record.find("\"phase_percentiles\":{"), std::string::npos);
+  for (const char* phase : {"\"filter\":{", "\"halo\":{", "\"fd\":{",
+                            "\"physics_compute\":{", "\"physics_balance\":{"}) {
+    EXPECT_NE(record.find(phase), std::string::npos) << phase;
+  }
+  for (const char* q : {"\"p50\":", "\"p95\":", "\"p99\":"}) {
+    EXPECT_NE(record.find(q), std::string::npos) << q;
+  }
+  // Without a plan there is no forecast to store.
+  EXPECT_EQ(record.find("\"predicted\""), std::string::npos);
 }
 
 }  // namespace

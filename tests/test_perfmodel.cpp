@@ -11,7 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include "perfmodel/compose.hpp"
 #include "perfmodel/model.hpp"
+#include "perfmodel/predict.hpp"
 #include "perfmodel/report.hpp"
 
 namespace agcm::perfmodel {
@@ -254,6 +256,260 @@ TEST(PerfModelReport, FitJsonCarriesAllSentinelComparedFields) {
                           "c1", "r2", "rmse", "cv_rmse"})
     EXPECT_NE(j.find(key), nullptr) << "missing " << key;
   EXPECT_EQ(j.find("complexity")->as_string(), "x");
+}
+
+// --- composition operators (compose.hpp) ----------------------------------
+
+/// A mid-size T3D-flavoured point so every driver is non-trivial.
+Point compose_point(int nlon = 96, int nlat = 64, int nlev = 5, int rows = 2,
+                    int cols = 4) {
+  Point p;
+  p.nlon = nlon;
+  p.nlat = nlat;
+  p.nlev = nlev;
+  p.mesh_rows = rows;
+  p.mesh_cols = cols;
+  p.machine = "Cray T3D";
+  p.filter_backend = "fft-load-balanced";
+  p.flops_per_sec = 9.4e6;
+  p.mem_bytes_per_sec = 3.0e8;
+  p.msg_latency_sec = 1.2e-4;
+  p.link_bytes_per_sec = 2.7e7;
+  p.send_overhead_sec = 4.0e-5;
+  p.recv_overhead_sec = 4.0e-5;
+  p.loop_startup_elems = 8.0;
+  return p;
+}
+
+TEST(PerfCompose, SequenceIsAssociative) {
+  const Point p = compose_point();
+  const Node a = leaf("points_sec", 2.0);
+  const Node b = ring("ranks", {leaf("msg_overhead_sec", 3.0)});
+  const Node c = leaf("plane_sec", 0.5);
+  const double left = evaluate(sequence({a, sequence({b, c})}), p);
+  const double right = evaluate(sequence({sequence({a, b}), c}), p);
+  const double flat = evaluate(sequence({a, b, c}), p);
+  EXPECT_DOUBLE_EQ(left, right);
+  EXPECT_DOUBLE_EQ(left, flat);
+  EXPECT_GT(flat, 0.0);
+}
+
+TEST(PerfCompose, ConcurrentIsMaxAndMonotoneInWeights) {
+  const Point p = compose_point();
+  const Node a = leaf("points_sec", 1.0);
+  const Node b = leaf("msg_overhead_sec", 1.0);
+  const double va = evaluate(a, p);
+  const double vb = evaluate(b, p);
+  EXPECT_DOUBLE_EQ(evaluate(concurrent({a, b}), p), std::max(va, vb));
+  // Scaling any branch's weight up can only raise (or keep) the max.
+  double prev = evaluate(concurrent({a, b}), p);
+  for (double w = 1.0; w <= 1024.0; w *= 4.0) {
+    const double now = evaluate(concurrent({a, leaf("msg_overhead_sec", w)}), p);
+    EXPECT_GE(now, prev);
+    EXPECT_GE(now, va);
+    prev = now;
+  }
+}
+
+TEST(PerfCompose, HopCountsMatchClosedForms) {
+  for (const double e : {1.0, 2.0, 3.0, 4.0, 5.0, 8.0, 16.0, 17.0}) {
+    EXPECT_DOUBLE_EQ(ring_hops(e), e - 1.0) << "e=" << e;
+    EXPECT_DOUBLE_EQ(tree_hops(e), e <= 1.0 ? 0.0 : std::ceil(std::log2(e)))
+        << "e=" << e;
+    EXPECT_DOUBLE_EQ(pairwise_rounds(e), e) << "e=" << e;
+  }
+  EXPECT_DOUBLE_EQ(ring_hops(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ring_hops(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(tree_hops(16.0), 4.0);
+  EXPECT_DOUBLE_EQ(tree_hops(17.0), 5.0);
+
+  // The operators apply exactly these multipliers to the unit driver.
+  for (int rows : {1, 2, 4}) {
+    for (int cols : {1, 2, 3, 4}) {
+      const Point p = compose_point(96, 64, 5, rows, cols);
+      const double e = p.ranks();
+      EXPECT_DOUBLE_EQ(evaluate(ring("ranks", {leaf("unit")}), p),
+                       ring_hops(e));
+      EXPECT_DOUBLE_EQ(evaluate(tree("ranks", {leaf("unit")}), p),
+                       tree_hops(e));
+      // Transpose: (e-1) messages plus (e-1)/e of the volume; zero on one
+      // rank (nothing crosses the wire).
+      const double want =
+          e <= 1.0 ? 0.0 : (e - 1.0) * 1.0 + (e - 1.0) / e * 1.0;
+      EXPECT_DOUBLE_EQ(
+          evaluate(transpose("ranks", {leaf("unit"), leaf("unit")}), p),
+          want);
+    }
+  }
+  Point p = compose_point();
+  p.lb_rounds = 3;
+  EXPECT_DOUBLE_EQ(evaluate(pairwise("lb_rounds", {leaf("unit")}), p), 3.0);
+  p.lb_rounds = 0;
+  EXPECT_DOUBLE_EQ(evaluate(pairwise("lb_rounds", {leaf("unit")}), p), 0.0);
+}
+
+TEST(PerfCompose, UnknownDriverAndExtentThrow) {
+  const Point p = compose_point();
+  EXPECT_THROW(driver_value("no_such_driver", p), std::invalid_argument);
+  EXPECT_THROW(extent_value("no_such_extent", p), std::invalid_argument);
+  EXPECT_THROW(evaluate(leaf("no_such_driver"), p), std::invalid_argument);
+  // Every documented driver evaluates finite and non-negative.
+  for (const std::string& name : driver_names()) {
+    const double v = driver_value(name, p);
+    EXPECT_TRUE(std::isfinite(v)) << name;
+    EXPECT_GE(v, 0.0) << name;
+  }
+}
+
+TEST(PerfCompose, NodeJsonRoundTripsByteStable) {
+  const Node tree_node = sequence(
+      {leaf("points_sec", 2.5, {1.0, 1}),
+       ring("ranks", {leaf("msg_overhead_sec", 0.75)}),
+       tree("mesh_cols", {leaf("unit", 1.0)}),
+       transpose("mesh_rows", {leaf("msg_overhead_sec"), leaf("plane_sec")}),
+       pairwise("lb_rounds", {leaf("pair_bytes_sec", 3.0)}),
+       concurrent({leaf("physics_mean_sec"), leaf("physics_sunlit_max_sec")})});
+  const trace::JsonValue j = node_json(tree_node);
+  const Node back = node_from_json(j);
+  EXPECT_EQ(j.dump(), node_json(back).dump());
+  const Point p = compose_point();
+  EXPECT_DOUBLE_EQ(evaluate(tree_node, p), evaluate(back, p));
+
+  trace::JsonValue bad = trace::JsonValue::object();
+  bad.set("op", trace::JsonValue("no-such-op"));
+  EXPECT_THROW(node_from_json(bad), std::invalid_argument);
+}
+
+TEST(PerfCompose, LinearTermsRejectConcurrentAndMatchEvaluate) {
+  const Point p = compose_point();
+  Node comp = sequence({leaf("points_sec"),
+                        ring("ranks", {leaf("msg_overhead_sec")})});
+  const std::vector<double> terms = linear_terms(comp, p);
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_DOUBLE_EQ(terms[0] + terms[1], evaluate(comp, p));
+
+  Node with_max = sequence({concurrent({leaf("unit")})});
+  EXPECT_THROW(linear_terms(with_max, p), std::invalid_argument);
+}
+
+TEST(PerfCompose, FitCompositeRecoversSyntheticLawExactly) {
+  // y = c0 + w0 * points_sec + w1 * ring_hops(ranks) * msg_overhead_sec,
+  // sampled over a geometry/mesh grid: the joint NNLS must give the exact
+  // generating coefficients back (the design is well-conditioned).
+  const double kC0 = 2.0e-3, kW0 = 1.5, kW1 = 4.0;
+  Node model = sequence(
+      {leaf("points_sec"), ring("ranks", {leaf("msg_overhead_sec")})});
+  std::vector<Point> points;
+  std::vector<double> y;
+  for (int nlon : {48, 72, 96, 144}) {
+    for (int rows : {1, 2}) {
+      for (int cols : {1, 2, 4}) {
+        Point p = compose_point(nlon, 2 * nlon / 3, 5, rows, cols);
+        const double pts = driver_value("points_sec", p);
+        const double msg = driver_value("msg_overhead_sec", p);
+        points.push_back(p);
+        y.push_back(kC0 + kW0 * pts + kW1 * ring_hops(p.ranks()) * msg);
+      }
+    }
+  }
+  const CompositeFit fit = fit_composite(model, points, y);
+  EXPECT_NEAR(fit.c0, kC0, 1e-9);
+  EXPECT_NEAR(model.children[0].weight, kW0, 1e-6);
+  EXPECT_NEAR(model.children[1].children[0].weight, kW1, 1e-6);
+  EXPECT_GT(fit.r2, 1.0 - 1e-9);
+  EXPECT_EQ(fit.terms_used, 2);
+  // The refitted tree reproduces every training sample.
+  for (std::size_t i = 0; i < points.size(); ++i)
+    EXPECT_NEAR(evaluate(model, points[i]) + fit.c0, y[i],
+                1e-9 * std::max(1.0, std::abs(y[i])));
+
+  Node degenerate = leaf("unit");
+  EXPECT_THROW(fit_composite(degenerate, {compose_point()}, {1.0}),
+               std::invalid_argument);
+}
+
+// --- whole-app predictor (predict.hpp) ------------------------------------
+
+/// Synthetic observations whose fd and halo components follow exact
+/// composite laws over the phase skeletons' own drivers. Filter and
+/// physics are disabled so only the unconditional phases train.
+std::vector<Observation> synthetic_observations() {
+  std::vector<Observation> obs;
+  for (int nlon : {48, 72, 96, 144}) {
+    for (int rows : {1, 2}) {
+      for (int cols : {1, 2, 4}) {
+        Point p = compose_point(nlon, 2 * nlon / 3, 5, rows, cols);
+        Observation o;
+        o.point = p;
+        o.filter_enabled = false;
+        o.physics_enabled = false;
+        o.actual.fd = 1.0e-3 + 2.0 * driver_value("points_sec", p) +
+                      0.5 * driver_value("plane_sec", p);
+        o.actual.halo = p.ranks() > 1
+                            ? 3.0 * driver_value("halo_msgs_sec", p) +
+                                  1.0 * driver_value("halo_bytes_sec", p)
+                            : 0.0;
+        obs.push_back(o);
+      }
+    }
+  }
+  return obs;
+}
+
+TEST(PerfPredict, RecoversSyntheticCompositeLawsThroughTraining) {
+  const std::vector<Observation> obs = synthetic_observations();
+  const PredictModel model = train_model(obs);
+  ASSERT_NE(model.find("fd", ""), nullptr);
+  ASSERT_NE(model.find("halo", ""), nullptr);
+  EXPECT_GT(model.find("fd", "")->r2, 1.0 - 1e-9);
+
+  // Exact in-sample recovery, including the structural halo zero on one
+  // rank, and recovery at a held-out geometry never trained on.
+  Point held_out = compose_point(120, 80, 5, 2, 2);
+  const double want_fd = 1.0e-3 +
+                         2.0 * driver_value("points_sec", held_out) +
+                         0.5 * driver_value("plane_sec", held_out);
+  const Prediction at = predict(model, held_out, /*filter_enabled=*/false,
+                                /*physics_enabled=*/false);
+  EXPECT_NEAR(at.fd, want_fd, 1e-6 * want_fd);
+  EXPECT_DOUBLE_EQ(at.filter, 0.0);
+  EXPECT_DOUBLE_EQ(at.physics_compute, 0.0);
+  EXPECT_DOUBLE_EQ(at.physics_balance, 0.0);
+
+  Point one_rank = compose_point(96, 64, 5, 1, 1);
+  EXPECT_DOUBLE_EQ(
+      predict(model, one_rank, false, false).halo, 0.0);
+
+  // An untrained filter backend is an error, not a silent zero.
+  Point p = compose_point();
+  EXPECT_THROW(predict(model, p, /*filter_enabled=*/true, false),
+               std::invalid_argument);
+}
+
+TEST(PerfPredict, ModelJsonRoundTripPreservesPredictions) {
+  const PredictModel model = train_model(synthetic_observations());
+  const trace::JsonValue j = model_to_json(model);
+  const PredictModel back = model_from_json(j);
+  EXPECT_EQ(j.dump(), model_to_json(back).dump());
+  for (int nlon : {48, 120, 144}) {
+    const Point p = compose_point(nlon, 2 * nlon / 3, 5, 2, 4);
+    const Prediction a = predict(model, p, false, false);
+    const Prediction b = predict(back, p, false, false);
+    EXPECT_DOUBLE_EQ(a.fd, b.fd);
+    EXPECT_DOUBLE_EQ(a.halo, b.halo);
+    EXPECT_DOUBLE_EQ(a.total(), b.total());
+  }
+}
+
+TEST(PerfPredict, PhaseSkeletonsExistForEveryBackendAndRejectUnknown) {
+  for (const char* backend :
+       {"fft-transpose", "fft-load-balanced", "convolution-tree",
+        "implicit-zonal", "convolution-ring", "convolution-partitioned"}) {
+    const Node skel = phase_skeleton("filter", backend);
+    EXPECT_FALSE(collect_leaves(skel).empty()) << backend;
+  }
+  EXPECT_THROW(phase_skeleton("filter", "no-such-backend"),
+               std::invalid_argument);
 }
 
 }  // namespace

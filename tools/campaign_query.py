@@ -26,6 +26,10 @@ Output (default: an index table, one row per record):
                           across hosts and runs
     --check               validate every record against the schema and exit
                           (0 = all valid); combine with filters to narrow
+    --drift               admission-planner drift report: predicted vs
+                          actual per-day totals for every record that
+                          carries a "predicted" block (campaign_run
+                          --predict), with median/max relative error
 
 Standard library only, so CI can run it anywhere.
 """
@@ -73,6 +77,26 @@ REQUIRED_DIAGNOSTICS = (
     "max_gravity_courant",
     "total_messages",
     "total_bytes",
+)
+
+# Optional blocks (validated only when present, so pre-existing stores
+# stay valid): the planner's prediction and the per-phase percentiles.
+PREDICTED_FIELDS = (
+    "filter_per_step_sec",
+    "halo_per_step_sec",
+    "fd_per_step_sec",
+    "physics_compute_per_step_sec",
+    "physics_balance_per_step_sec",
+    "total_per_step_sec",
+    "total_per_day_sec",
+)
+
+PERCENTILE_PHASES = (
+    "filter",
+    "halo",
+    "fd",
+    "physics_compute",
+    "physics_balance",
 )
 
 DEFAULT_FIELDS = (
@@ -157,6 +181,35 @@ def validate(where: str, record: dict) -> list[str]:
             errors.append("wall_sec must be a number")
         elif value < 0:
             errors.append("wall_sec must be non-negative")
+    if "predicted" in record:
+        predicted = record["predicted"]
+        if not isinstance(predicted, dict):
+            errors.append("'predicted' must be an object")
+        else:
+            for key in PREDICTED_FIELDS:
+                value = predicted.get(key)
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    errors.append(f"predicted.{key} must be a number")
+    percentiles = record["diagnostics"].get("phase_percentiles")
+    if percentiles is not None:
+        if not isinstance(percentiles, dict):
+            errors.append("diagnostics.phase_percentiles must be an object")
+        else:
+            for phase in PERCENTILE_PHASES:
+                block = percentiles.get(phase)
+                if not isinstance(block, dict):
+                    errors.append(
+                        f"phase_percentiles.{phase} must be an object")
+                    continue
+                for q in ("p50", "p95", "p99"):
+                    value = block.get(q)
+                    if isinstance(value, bool) or not isinstance(
+                        value, (int, float)
+                    ):
+                        errors.append(
+                            f"phase_percentiles.{phase}.{q} must be a number")
     return [f"{where}: {e}" for e in errors]
 
 
@@ -192,6 +245,43 @@ def print_table(rows: list[list[str]], headers: list[str]) -> None:
         print(fmt.format(*row))
 
 
+def drift_report(records: list[tuple[str, int, dict]]) -> int:
+    """Predicted vs actual per-day totals for planner-admitted records."""
+    rows = []
+    errors = []
+    for _, _, record in records:
+        predicted = record.get("predicted")
+        if not isinstance(predicted, dict):
+            continue
+        actual = lookup(record, "virtual.total_per_day_sec")
+        forecast = predicted.get("total_per_day_sec")
+        if not isinstance(actual, (int, float)) or not isinstance(
+            forecast, (int, float)
+        ):
+            continue
+        rel = abs(forecast - actual) / abs(actual) if actual else 0.0
+        errors.append(rel)
+        rows.append([
+            str(record.get("cell", "-")),
+            f"{forecast:.3f}",
+            f"{actual:.3f}",
+            f"{100.0 * rel:.1f}%",
+        ])
+    if not rows:
+        print("no records carry a 'predicted' block (run campaign_run "
+              "with --predict)")
+        return 1
+    print_table(rows, ["cell", "predicted_per_day", "actual_per_day",
+                       "drift"])
+    ordered = sorted(errors)
+    n = len(ordered)
+    med = (ordered[n // 2] if n % 2 else
+           0.5 * (ordered[n // 2 - 1] + ordered[n // 2]))
+    print(f"{n} record(s): median drift {100.0 * med:.1f}%, "
+          f"max {100.0 * max(ordered):.1f}%")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
@@ -207,6 +297,7 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--json", action="store_true")
     parser.add_argument("--strip-wall", action="store_true")
     parser.add_argument("--check", action="store_true")
+    parser.add_argument("--drift", action="store_true")
     args = parser.parse_args(argv[1:])
 
     for clause in args.where:
@@ -234,6 +325,9 @@ def main(argv: list[str]) -> int:
         if not errors:
             print(f"ok   {len(records)} record(s) valid ({SCHEMA})")
         return 1 if errors else 0
+
+    if args.drift:
+        return drift_report(records)
 
     if args.sort:
         records.sort(key=lambda r: sort_key(lookup(r[2], args.sort)))

@@ -137,6 +137,18 @@ REQUIRED_FIELDS = {
     # Only the fields common to both modes: --check-only (CI determinism
     # fence) omits the host speedup table; full mode adds
     # host_speedup_nlon576/host_speedup_nlon1152/host_gate_pass.
+    # Self-gating: >= 8 holdout configurations, median whole-step relative
+    # error < 10%, max < 25% (bench exits nonzero when any fails). The
+    # full agcm-predict-v1 document is mirrored under "predict_model".
+    "predict_model": {
+        "predict_model_path": str,
+        "n_train": float,
+        "n_holdout": float,
+        "median_rel_error": float,
+        "max_rel_error": float,
+        "all_pass": bool,
+        "predict_model": dict,
+    },
     "filter_partition": {
         "mode": str,
         "block_nlon144": float,
@@ -213,6 +225,12 @@ def check_required_fields(path: str, doc: dict) -> str:
             f"x^{doc['fit_partition_exponent_a']:g}, imbalance "
             f"{doc['imbalance_before']:.0%} -> {doc['imbalance_after']:.0%}, "
             f"all_pass={doc['all_pass']}"
+        )
+    if doc["bench"] == "predict_model":
+        return (
+            f", {doc['n_train']:g} train / {doc['n_holdout']:g} holdout, "
+            f"median {doc['median_rel_error']:.1%} max "
+            f"{doc['max_rel_error']:.1%}, all_pass={doc['all_pass']}"
         )
     if doc["bench"] == "filter_partition":
         return (
@@ -379,6 +397,80 @@ def check_perf_model(path: str, doc: dict) -> str:
             f"{verdicts} passing, all_pass={doc['all_pass']}")
 
 
+def check_node(path: str, where: str, node: object) -> None:
+    """One composition-tree node (src/perfmodel/compose.hpp)."""
+    if not isinstance(node, dict):
+        fail(path, f"{where} must be an object")
+    op = node.get("op")
+    if op == "leaf":
+        if not isinstance(node.get("driver"), str) or not node["driver"]:
+            fail(path, f"{where}.driver must be a non-empty string")
+        for key in ("exponent_a", "log_power_b", "weight"):
+            value = node.get(key)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                fail(path, f"{where}.{key} must be a number")
+        return
+    if op not in ("sequence", "concurrent", "ring", "tree", "transpose",
+                  "pairwise"):
+        fail(path, f"{where}.op is {op!r}")
+    if op in ("ring", "tree", "transpose", "pairwise") and not isinstance(
+        node.get("extent"), str
+    ):
+        fail(path, f"{where}.extent must be a string")
+    children = node.get("children")
+    if not isinstance(children, list) or not children:
+        fail(path, f"{where}.children must be a non-empty list")
+    for i, child in enumerate(children):
+        check_node(path, f"{where}.children[{i}]", child)
+
+
+def check_predict_model(path: str, doc: dict) -> str:
+    """PREDICT_MODEL.json (agcm-predict-v1, written by bench_predict_model
+    and consumed by tools/predict.py and the campaign planner)."""
+    machines = doc.get("machines")
+    if not isinstance(machines, dict) or not machines:
+        fail(path, "'machines' must be a non-empty object")
+    scalar_keys = ("flops_per_sec", "mem_bytes_per_sec", "msg_latency_sec",
+                   "link_bytes_per_sec", "send_overhead_sec",
+                   "recv_overhead_sec", "loop_startup_elems")
+    for name, scalars in machines.items():
+        if not isinstance(scalars, dict):
+            fail(path, f"machines[{name!r}] must be an object")
+        for key in scalar_keys:
+            value = scalars.get(key)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                fail(path, f"machines[{name!r}].{key} must be a number")
+    phases = doc.get("phases")
+    if not isinstance(phases, list) or not phases:
+        fail(path, "'phases' must be a non-empty list")
+    for i, phase in enumerate(phases):
+        if not isinstance(phase.get("phase"), str) or not phase["phase"]:
+            fail(path, f"phases[{i}].phase must be a non-empty string")
+        if not isinstance(phase.get("selector"), str):
+            fail(path, f"phases[{i}].selector must be a string")
+        for key in ("c0", "r2", "rmse", "n_train", "terms_used"):
+            value = phase.get(key)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                fail(path, f"phases[{i}].{key} must be a number")
+        check_node(path, f"phases[{i}].tree", phase.get("tree"))
+    holdout = doc.get("holdout")
+    if holdout is not None:
+        if not isinstance(holdout, list):
+            fail(path, "'holdout' must be a list")
+        for i, entry in enumerate(holdout):
+            for key in ("name", "point", "actual", "predicted", "rel_error"):
+                if key not in entry:
+                    fail(path, f"holdout[{i}] missing '{key}'")
+    gates = doc.get("gates")
+    if gates is not None and not isinstance(gates, list):
+        fail(path, "'gates' must be a list")
+    if "all_pass" in doc and not isinstance(doc["all_pass"], bool):
+        fail(path, "'all_pass' must be bool")
+    return (f"predict model: {len(machines)} machine(s), {len(phases)} "
+            f"phase predictor(s), {len(holdout or [])} holdout(s), "
+            f"all_pass={doc.get('all_pass')}")
+
+
 def check_file(path: str) -> str:
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
@@ -388,6 +480,8 @@ def check_file(path: str) -> str:
         return check_chrome_trace(path, doc)
     if doc.get("schema") == "agcm-perfmodel-v1":
         return check_perf_model(path, doc)
+    if doc.get("schema") == "agcm-predict-v1":
+        return check_predict_model(path, doc)
     if "context" in doc and "benchmarks" in doc:
         return check_google_benchmark(path, doc)
     return check_bench(path, doc)

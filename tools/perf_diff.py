@@ -25,6 +25,14 @@ and is always ignored.
 Usage:
   perf_diff.py BASELINE FRESH [--rtol 1e-9] [--ignore REGEX ...]
   perf_diff.py --update BASELINE FRESH      # copy FRESH over BASELINE
+  perf_diff.py --summary MODEL.json         # human-readable model table
+
+`--summary` prints the fitted models in a performance-model artefact as a
+table — one row per phase with the selected complexity class, exponents
+and r2 — instead of diffing. It understands both artefact schemas:
+agcm-perfmodel-v1 (PERF_MODEL.json, per-phase PMNF fits) and
+agcm-predict-v1 (PREDICT_MODEL.json, composition trees; see
+docs/perfmodel.md).
 
 Exit status: 0 when within tolerance, 1 on any drift (every drifted path is
 printed), 2 on usage/IO errors.
@@ -117,10 +125,88 @@ def diff(baseline, fresh, path, rtol, ignores, failures):
             failures.append(f"{path}: {baseline!r} -> {fresh!r}")
 
 
+def print_table(rows, headers):
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    print(fmt.format(*headers))
+    print(fmt.format(*("-" * w for w in widths)))
+    for row in rows:
+        print(fmt.format(*row))
+
+
+def summarize(path):
+    """Prints the fitted models in a PERF_MODEL / PREDICT_MODEL artefact."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perf_diff: cannot read {path}: {e}", file=sys.stderr)
+        return 2
+
+    schema = doc.get("schema")
+    if schema == "agcm-perfmodel-v1":
+        rows = []
+        for entry in doc.get("phases", []):
+            model = entry.get("model", {})
+            verdict = entry.get("verdict", {})
+            rows.append([
+                entry.get("phase", "?"),
+                str(entry.get("series", {}).get("parameter", "?")),
+                model.get("complexity", "?"),
+                f"{model.get('exponent_a', 0):g}",
+                str(model.get("log_power_b", 0)),
+                f"{model.get('r2', 0):.4f}",
+                "PASS" if verdict.get("pass") else "FAIL",
+            ])
+        print(f"{path}: {schema}, report '{doc.get('report', '?')}'")
+        print_table(rows, ["phase", "parameter", "complexity", "a", "b",
+                           "r2", "verdict"])
+    elif schema == "agcm-predict-v1":
+        rows = []
+        for entry in doc.get("phases", []):
+            tree = entry.get("tree", {})
+            terms = []
+
+            def walk(node):
+                if node.get("op") == "leaf":
+                    if node.get("weight", 0) > 0:
+                        terms.append(node.get("driver", "?"))
+                else:
+                    for child in node.get("children", []):
+                        walk(child)
+
+            walk(tree)
+            rows.append([
+                entry.get("phase", "?"),
+                entry.get("selector") or "-",
+                f"{entry.get('r2', 0):.4f}",
+                f"{entry.get('rmse', 0):.3e}",
+                str(entry.get("n_train", 0)),
+                ", ".join(terms) if terms else "(intercept only)",
+            ])
+        print(f"{path}: {schema}, {len(doc.get('machines', {}))} machine(s)")
+        print_table(rows, ["phase", "selector", "r2", "rmse", "n", "terms"])
+        gates = doc.get("gates", [])
+        if gates:
+            print()
+            for gate in gates:
+                status = "PASS" if gate.get("pass") else "FAIL"
+                print(f"  gate {gate.get('name', '?'):<18} [{status}] "
+                      f"{gate.get('detail', '')}")
+    else:
+        print(f"perf_diff: {path}: unknown model schema {schema!r}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
-    parser.add_argument("fresh")
+    parser.add_argument("fresh", nargs="?")
     parser.add_argument("--rtol", type=float, default=1e-9,
                         help="relative tolerance for non-integral numbers")
     parser.add_argument("--ignore", action="append", default=[],
@@ -128,7 +214,17 @@ def main():
                         help="skip dotted paths matching REGEX")
     parser.add_argument("--update", action="store_true",
                         help="copy FRESH over BASELINE and exit 0")
+    parser.add_argument("--summary", action="store_true",
+                        help="print the model table of a single artefact "
+                             "instead of diffing")
     args = parser.parse_args()
+
+    if args.summary:
+        if args.fresh is not None:
+            parser.error("--summary takes a single artefact")
+        return summarize(args.baseline)
+    if args.fresh is None:
+        parser.error("diffing needs BASELINE and FRESH")
 
     if args.update:
         shutil.copyfile(args.fresh, args.baseline)

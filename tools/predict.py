@@ -1,0 +1,467 @@
+#!/usr/bin/env python3
+"""What-if CLI over a trained performance model (agcm-predict-v1).
+
+Predicts the per-step (and per-day) component breakdown of a run
+configuration without running it, by evaluating the fitted composition
+trees in a PREDICT_MODEL.json (written by bench_predict_model; see
+docs/perfmodel.md). The driver formulas and structure operators are a
+pure-Python mirror of src/perfmodel/compose.cpp — `--selftest` proves the
+mirror agrees with the C++ engine by re-evaluating the model's own holdout
+block.
+
+Usage:
+    tools/predict.py MODEL.json run.cfg [--set KEY=VALUE ...] [--json]
+    tools/predict.py MODEL.json --selftest
+
+`run.cfg` is the ordinary run-spec dialect (configs/*.cfg): nlon/nlat/
+nlev, mesh_rows/mesh_cols, machine token (paragon/t3d/sp2/ideal),
+filter_algorithm, lb_scheme, ... `--set` overrides individual keys from
+the command line, so sweeping a what-if question needs no temp files:
+
+    tools/predict.py PREDICT_MODEL.json configs/small_demo.cfg \\
+        --set mesh_cols=8 --set filter_algorithm=convolution-ring
+
+Standard library only, so CI can run it anywhere.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import Any
+
+SCHEMA = "agcm-predict-v1"
+
+# Config machine tokens -> profile names (the machines-table keys), the
+# same mapping core::parse_machine_profile applies.
+MACHINE_TOKENS = {
+    "paragon": "Intel Paragon",
+    "t3d": "Cray T3D",
+    "sp2": "IBM SP-2",
+    "ideal": "ideal",
+}
+
+FILTER_BACKENDS = (
+    "convolution-ring",
+    "convolution-tree",
+    "fft-transpose",
+    "fft-load-balanced",
+    "convolution-partitioned",
+    "implicit-zonal",
+)
+
+LB_SCHEMES = {
+    "none": "none",
+    "cyclic": "cyclic",
+    "scheme1": "cyclic",
+    "sorted-greedy": "sorted-greedy",
+    "scheme2": "sorted-greedy",
+    "pairwise": "pairwise",
+    "scheme3": "pairwise",
+}
+
+PHASES = ("filter", "halo", "fd", "physics_compute", "physics_balance")
+
+# Polar-filter structure constants (src/perfmodel/compose.cpp).
+STRONG_CUTOFF_DEG = 45.0
+WEAK_CUTOFF_DEG = 60.0
+STRONG_VARS = 3
+WEAK_VARS = 2
+
+
+# --- run-spec parsing (mirror of core::run_spec_from) -----------------------
+
+def parse_cfg(path: str) -> dict[str, str]:
+    values: dict[str, str] = {}
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if "=" not in line:
+                raise ValueError(f"{path}:{lineno}: not 'key = value': {line}")
+            key, _, value = line.partition("=")
+            values[key.strip()] = value.strip()
+    return values
+
+
+def as_bool(values: dict[str, str], key: str, fallback: bool) -> bool:
+    raw = values.get(key)
+    if raw is None:
+        return fallback
+    lower = raw.lower()
+    if lower in ("true", "yes", "on", "1"):
+        return True
+    if lower in ("false", "no", "off", "0"):
+        return False
+    raise ValueError(f"config key '{key}' is not a boolean: {raw}")
+
+
+def as_int(values: dict[str, str], key: str, fallback: int | None) -> int:
+    raw = values.get(key)
+    if raw is None:
+        if fallback is None:
+            raise ValueError(f"config key '{key}' is required")
+        return fallback
+    return int(raw)
+
+
+def point_from_cfg(values: dict[str, str], machines: dict) -> dict:
+    """The prediction coordinate of a run spec (core::point_from)."""
+    token = values.get("machine", "t3d")
+    name = MACHINE_TOKENS.get(token)
+    if name is None:
+        raise ValueError(f"unknown machine '{token}'")
+    scalars = machines.get(name)
+    if scalars is None:
+        raise ValueError(f"model has no machine table entry for '{name}'")
+
+    backend = values.get("filter_algorithm", "fft-load-balanced")
+    if backend not in FILTER_BACKENDS:
+        raise ValueError(f"unknown filter_algorithm '{backend}'")
+
+    physics = as_bool(values, "physics", True)
+    legacy_lb = as_bool(values, "physics_load_balance", False)
+    scheme = LB_SCHEMES.get(
+        values.get("lb_scheme", "pairwise" if legacy_lb else "none"))
+    if scheme is None:
+        raise ValueError(f"unknown lb_scheme '{values.get('lb_scheme')}'")
+    lb_enabled = physics and scheme != "none"
+
+    point = {
+        "nlon": as_int(values, "nlon", 144),
+        "nlat": as_int(values, "nlat", 90),
+        "nlev": as_int(values, "nlev", 9),
+        "mesh_rows": as_int(values, "mesh_rows", None),
+        "mesh_cols": as_int(values, "mesh_cols", None),
+        "lb_rounds": as_int(values, "lb_max_iterations", 2)
+        if lb_enabled else 0,
+        "lb_enabled": lb_enabled,
+        "machine": name,
+        "filter_backend": backend,
+    }
+    point.update(scalars)
+    return point
+
+
+# --- driver formulas (mirror of perfmodel::driver_value) --------------------
+
+def ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def block_start(n: int, p: int, b: int) -> int:
+    return b * (n // p) + min(b, n % p)
+
+
+def block_size(n: int, p: int, b: int) -> int:
+    return n // p + (1 if b < n % p else 0)
+
+
+def lat_center_deg(j: int, nlat: int) -> float:
+    # Same operation order as grid/latlon.cpp so the poleward test agrees.
+    dlat = math.pi / nlat
+    lat = -0.5 * math.pi + (j + 0.5) * dlat
+    return lat * 180.0 / math.pi
+
+
+def filtered_rows_in(j0: int, nj: int, nlat: int, cutoff_deg: float) -> int:
+    return sum(
+        1 for j in range(j0, j0 + nj)
+        if abs(lat_center_deg(j, nlat)) >= cutoff_deg
+    )
+
+
+def filtered_lines_in(j0: int, nj: int, p: dict) -> float:
+    nlat = p["nlat"]
+    return p["nlev"] * (
+        STRONG_VARS * filtered_rows_in(j0, nj, nlat, STRONG_CUTOFF_DEG)
+        + WEAK_VARS * filtered_rows_in(j0, nj, nlat, WEAK_CUTOFF_DEG)
+    )
+
+
+def filtered_lines_row_max(p: dict) -> float:
+    nlat, rows = p["nlat"], p["mesh_rows"]
+    return max(
+        filtered_lines_in(block_start(nlat, rows, r),
+                          block_size(nlat, rows, r), p)
+        for r in range(rows)
+    )
+
+
+def filtered_lines_balanced(p: dict) -> float:
+    total = filtered_lines_in(0, p["nlat"], p)
+    return math.ceil(total / (p["mesh_rows"] * p["mesh_cols"]))
+
+
+def loop_efficiency(n: float, startup: float) -> float:
+    return 1.0 if startup <= 0.0 else n / (n + startup)
+
+
+def driver_value(name: str, p: dict) -> float:
+    ni = float(ceil_div(p["nlon"], p["mesh_cols"]))
+    nj = float(ceil_div(p["nlat"], p["mesh_rows"]))
+    nlev = p["nlev"]
+    ranks = p["mesh_rows"] * p["mesh_cols"]
+    flops = p["flops_per_sec"]
+    bw = p["link_bytes_per_sec"]
+    msg_ovh = (p["msg_latency_sec"] + p["send_overhead_sec"]
+               + p["recv_overhead_sec"])
+    split_rows = p["mesh_rows"] > 1
+    split_cols = p["mesh_cols"] > 1
+    boundary = ((2.0 * ni if split_rows else 0.0)
+                + (2.0 * nj if split_cols else 0.0))
+
+    if name == "unit":
+        return 1.0
+    if name == "msg_overhead_sec":
+        return msg_ovh
+    if name == "points_sec":
+        return ni * nj * nlev / flops
+    if name == "points_startup_sec":
+        return ni * nj * nlev / (
+            flops * loop_efficiency(ni, p["loop_startup_elems"]))
+    if name == "plane_sec":
+        return ni * nj / flops
+    if name == "mem_points_sec":
+        return 8.0 * ni * nj * nlev / p["mem_bytes_per_sec"]
+    if name == "physics_mean_sec":
+        return float(p["nlon"]) * p["nlat"] * nlev / (ranks * flops)
+    if name == "physics_sunlit_max_sec":
+        sunlit = min(ni, p["nlon"] / 2.0) / ni
+        return ni * nj * nlev * sunlit / flops
+    if name == "halo_msgs_sec":
+        return ((2.0 if split_rows else 0.0)
+                + (2.0 if split_cols else 0.0)) * msg_ovh
+    if name == "halo_bytes_sec":
+        return 8.0 * nlev * boundary / bw
+    if name == "halo_pack_sec":
+        return nlev * boundary / flops
+    if name == "fft_lines_row_sec":
+        return (filtered_lines_row_max(p) * p["nlon"]
+                * math.log2(float(p["nlon"])) / flops)
+    if name == "lin_lines_row_sec":
+        return filtered_lines_row_max(p) * p["nlon"] / flops
+    if name == "conv_row_sec":
+        return filtered_lines_row_max(p) * p["nlon"] * p["nlon"] / flops
+    if name == "conv_seg_row_sec":
+        return filtered_lines_row_max(p) * ni * ni / flops
+    if name == "seg_bytes_row_sec":
+        return 8.0 * filtered_lines_row_max(p) * ni / bw
+    if name == "fft_lines_bal_sec":
+        return (filtered_lines_balanced(p) * p["nlon"]
+                * math.log2(float(p["nlon"])) / flops)
+    if name == "lin_lines_bal_sec":
+        return filtered_lines_balanced(p) * p["nlon"] / flops
+    if name == "line_bytes_bal_sec":
+        return 8.0 * filtered_lines_balanced(p) * p["nlon"] / bw
+    if name == "pair_bytes_sec":
+        return 8.0 * ni * nj * nlev / bw
+    raise ValueError(f"unknown driver '{name}'")
+
+
+# --- composition-tree evaluation (mirror of perfmodel::evaluate) ------------
+
+def basis(a: float, b: int, x: float) -> float:
+    phi = 1.0
+    if a != 0.0:
+        phi *= x ** a
+    if b != 0:
+        lg = math.log2(x) if x > 1.0 else 0.0
+        phi *= lg ** b
+    return phi
+
+
+def extent_value(name: str, p: dict) -> float:
+    if name == "ranks":
+        return float(p["mesh_rows"] * p["mesh_cols"])
+    if name in ("mesh_rows", "mesh_cols", "lb_rounds"):
+        return float(p[name])
+    raise ValueError(f"unknown extent '{name}'")
+
+
+def evaluate(node: dict, p: dict) -> float:
+    op = node["op"]
+    if op == "leaf":
+        return node["weight"] * basis(
+            node["exponent_a"], node["log_power_b"],
+            driver_value(node["driver"], p))
+    if op == "sequence":
+        return sum(evaluate(c, p) for c in node["children"])
+    if op == "concurrent":
+        return max((evaluate(c, p) for c in node["children"]), default=0.0)
+    if op in ("ring", "tree", "pairwise"):
+        e = extent_value(node["extent"], p)
+        if op == "ring":
+            hops = max(e - 1.0, 0.0)
+        elif op == "tree":
+            hops = math.ceil(math.log2(e)) if e > 1.0 else 0.0
+        else:
+            hops = max(e, 0.0)
+        return hops * sum(evaluate(c, p) for c in node["children"])
+    if op == "transpose":
+        e = extent_value(node["extent"], p)
+        if e <= 1.0:
+            return 0.0
+        total = 0.0
+        for i, child in enumerate(node["children"]):
+            mult = (e - 1.0) if i == 0 else (e - 1.0) / e
+            total += mult * evaluate(child, p)
+        return total
+    raise ValueError(f"unknown composition op '{op}'")
+
+
+def find_phase(model: dict, phase: str, selector: str) -> dict | None:
+    for entry in model["phases"]:
+        if entry["phase"] == phase and entry["selector"] == selector:
+            return entry
+    return None
+
+
+def evaluate_phase(model: dict, phase: str, selector: str, p: dict) -> float:
+    entry = find_phase(model, phase, selector)
+    if entry is None:
+        raise ValueError(
+            f"model has no predictor for phase '{phase}' "
+            f"selector '{selector}'")
+    return max(entry["c0"] + evaluate(entry["tree"], p), 0.0)
+
+
+def predict(model: dict, p: dict, filter_enabled: bool,
+            physics_enabled: bool) -> dict[str, float]:
+    ranks = p["mesh_rows"] * p["mesh_cols"]
+    out = dict.fromkeys(PHASES, 0.0)
+    out["fd"] = evaluate_phase(model, "fd", "", p)
+    if ranks > 1:
+        out["halo"] = evaluate_phase(model, "halo", "", p)
+    if filter_enabled:
+        out["filter"] = evaluate_phase(
+            model, "filter", p["filter_backend"], p)
+    if physics_enabled:
+        selector = "lb-on" if p["lb_enabled"] else "lb-off"
+        out["physics_compute"] = evaluate_phase(
+            model, "physics_compute", selector, p)
+        if p["lb_enabled"] and ranks > 1:
+            out["physics_balance"] = evaluate_phase(
+                model, "physics_balance", "lb-on", p)
+    return out
+
+
+# --- entry points -----------------------------------------------------------
+
+def load_model(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: schema is {doc.get('schema')!r}, "
+                         f"want {SCHEMA!r}")
+    for key in ("machines", "phases"):
+        if key not in doc:
+            raise ValueError(f"{path}: missing '{key}'")
+    return doc
+
+
+def selftest(doc: dict, rtol: float = 1e-9) -> int:
+    """Re-evaluates the model's holdout block with the Python mirror and
+    compares against the predictions the C++ engine stored there."""
+    holdout = doc.get("holdout")
+    if not holdout:
+        print("selftest: model has no holdout block", file=sys.stderr)
+        return 1
+    keys = [f"{phase}_per_step_sec" for phase in PHASES]
+    keys.append("total_per_step_sec")
+    failures = 0
+    for entry in holdout:
+        mine = predict(doc, entry["point"], entry["filter_enabled"],
+                       entry["physics_enabled"])
+        mine["total"] = sum(mine[phase] for phase in PHASES)
+        for key in keys:
+            stored = entry["predicted"][key]
+            local = mine[key.removesuffix("_per_step_sec")
+                         if key != "total_per_step_sec" else "total"]
+            scale = max(abs(stored), abs(local), 1e-300)
+            if abs(stored - local) / scale > rtol:
+                print(f"FAIL {entry['name']}: {key}: stored {stored!r} "
+                      f"!= mirrored {local!r}", file=sys.stderr)
+                failures += 1
+    if failures:
+        return 1
+    print(f"ok   {len(holdout)} holdout prediction(s) re-evaluated "
+          f"within rtol {rtol:g}")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("model", help="PREDICT_MODEL.json")
+    parser.add_argument("config", nargs="?", help="run spec (.cfg)")
+    parser.add_argument("--set", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="override a config key (repeatable)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the breakdown as one JSON object")
+    parser.add_argument("--selftest", action="store_true",
+                        help="re-evaluate the model's holdout block with "
+                             "the Python mirror and compare")
+    args = parser.parse_args(argv[1:])
+
+    try:
+        doc = load_model(args.model)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+    if args.selftest:
+        if args.config is not None or args.set:
+            parser.error("--selftest takes no run spec")
+        return selftest(doc)
+    if args.config is None:
+        parser.error("a run spec (.cfg) is required unless --selftest")
+
+    try:
+        values = parse_cfg(args.config)
+        for clause in args.set:
+            if "=" not in clause:
+                parser.error(f"--set needs KEY=VALUE, got {clause!r}")
+            key, _, value = clause.partition("=")
+            values[key.strip()] = value.strip()
+        point = point_from_cfg(values, doc["machines"])
+        filter_enabled = as_bool(values, "polar_filter", True)
+        physics_enabled = as_bool(values, "physics", True)
+        breakdown = predict(doc, point, filter_enabled, physics_enabled)
+    except (OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+    total = sum(breakdown[phase] for phase in PHASES)
+    dt_sec = float(values.get("dt_sec", "450"))
+    steps_per_day = 86400.0 / dt_sec
+
+    if args.json:
+        out: dict[str, Any] = {"schema": SCHEMA, "point": point}
+        for phase in PHASES:
+            out[f"{phase}_per_step_sec"] = breakdown[phase]
+        out["total_per_step_sec"] = total
+        out["total_per_day_sec"] = total * steps_per_day
+        print(json.dumps(out, separators=(",", ":")))
+        return 0
+
+    ranks = point["mesh_rows"] * point["mesh_cols"]
+    print(f"configuration: {point['machine']}, "
+          f"{point['nlon']}x{point['nlat']}x{point['nlev']}, "
+          f"{point['mesh_rows']}x{point['mesh_cols']} mesh ({ranks} ranks), "
+          f"{point['filter_backend']}, "
+          f"lb {'on' if point['lb_enabled'] else 'off'}")
+    print(f"{'phase':<18} {'sec/step':>14} {'sec/day':>14}")
+    for phase in PHASES:
+        sec = breakdown[phase]
+        print(f"{phase:<18} {sec:>14.6f} {sec * steps_per_day:>14.3f}")
+    print(f"{'total':<18} {total:>14.6f} {total * steps_per_day:>14.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
